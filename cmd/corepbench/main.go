@@ -1,0 +1,103 @@
+// Command corepbench regenerates the tables and figures of Jhingran &
+// Stonebraker, "Alternatives in Complex Object Representation: A
+// Performance Perspective" (ICDE 1990).
+//
+// Usage:
+//
+//	corepbench -list
+//	corepbench -exp fig3                # one experiment at paper scale
+//	corepbench -all -scale quick        # every experiment, small scale
+//	corepbench -exp fig4 -seed 7
+//
+// Paper scale uses the paper's environment (10,000 parents, sequences
+// of up to 1000 queries); quick scale shrinks both so the full suite
+// finishes in minutes while preserving the qualitative shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"corep/internal/harness"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "", "experiment to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments")
+		scale   = flag.String("scale", "paper", "paper or quick")
+		seed    = flag.Int64("seed", 1, "workload generator seed")
+		plot    = flag.Bool("plot", false, "also render an ASCII log-log chart of each table")
+		verify  = flag.Bool("verify", false, "run the cross-strategy agreement self-check and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, e := range harness.Experiments {
+			fmt.Printf("  %-14s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+
+	if *verify {
+		sc := harness.QuickScale
+		sc.Seed = *seed
+		table, err := harness.VerifyAgreement(sc)
+		if table != nil {
+			table.Fprint(os.Stdout)
+		}
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var sc harness.Scale
+	switch strings.ToLower(*scale) {
+	case "paper":
+		sc = harness.PaperScale
+	case "quick":
+		sc = harness.QuickScale
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want paper or quick)\n", *scale)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+
+	var runs []harness.Experiment
+	switch {
+	case *all:
+		runs = harness.Experiments
+	case *expName != "":
+		e, ok := harness.FindExperiment(*expName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *expName)
+			os.Exit(2)
+		}
+		runs = []harness.Experiment{e}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, e := range runs {
+		start := time.Now()
+		fmt.Printf("running %s (%s, scale=%s, seed=%d)...\n", e.Name, e.Paper, *scale, *seed)
+		table, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		table.AddNote("elapsed %s", time.Since(start).Round(time.Millisecond))
+		table.Fprint(os.Stdout)
+		if *plot {
+			harness.PlotFromTable(table, true, true).Fprint(os.Stdout)
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command corepload builds one workload database and reports its
+// structure and the cost of a few probe queries — a quick way to inspect
+// what a parameter point of the paper's experiment space looks like.
+//
+// Usage:
+//
+//	corepload -parents 10000 -usefactor 5 -overlap 1 -clustered -cache 1000
+//	corepload -usefactor 5 -numtop 200 -queries 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"corep/internal/cluster"
+	"corep/internal/harness"
+	"corep/internal/strategy"
+	"corep/internal/workload"
+)
+
+func main() {
+	var (
+		parents   = flag.Int("parents", workload.DefaultNumParents, "|ParentRel|")
+		sizeUnit  = flag.Int("sizeunit", workload.DefaultSizeUnit, "subobjects per unit")
+		useFactor = flag.Int("usefactor", 5, "parents sharing a unit")
+		overlap   = flag.Int("overlap", 1, "units sharing a subobject")
+		nChildRel = flag.Int("nchildrel", 1, "child relations")
+		clustered = flag.Bool("clustered", true, "build ClusterRel + ISAM index")
+		cacheSz   = flag.Int("cache", workload.DefaultCacheUnits, "SizeCache in units (0 = none)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		numTop    = flag.Int("numtop", 100, "NumTop of the probe queries")
+		queries   = flag.Int("queries", 50, "probe retrieves per strategy")
+		prUpdate  = flag.Float64("prupdate", 0, "update fraction of the probe sequence")
+	)
+	flag.Parse()
+
+	cfg := workload.Config{
+		NumParents:    *parents,
+		SizeUnit:      *sizeUnit,
+		UseFactor:     *useFactor,
+		OverlapFactor: *overlap,
+		NumChildRel:   *nChildRel,
+		Clustered:     *clustered,
+		CacheUnits:    *cacheSz,
+		Seed:          *seed,
+	}
+	db, err := workload.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("database: %s\n", db.Cfg)
+	fmt.Printf("  ParentRel: %d tuples, %d pages (B-tree height %d)\n",
+		db.Cfg.NumParents, db.Parent.Tree.NumPages(), db.Parent.Tree.Height())
+	for _, ch := range db.Children {
+		fmt.Printf("  %s: %d tuples, %d pages (%d leaves)\n",
+			ch.Name, db.ChildCount(ch.ID), ch.Tree.NumPages(), ch.Tree.LeafPages())
+	}
+	fmt.Printf("  units: %d of size %d (ShareFactor %d)\n",
+		db.NumUnits(), db.Cfg.SizeUnit, db.Cfg.ShareFactor())
+	if db.ClusterRel != nil {
+		fmt.Printf("  ClusterRel: %d pages; ISAM index: %d entries, %d levels, %d pages\n",
+			db.ClusterRel.Tree.NumPages(), db.ClusterRel.Index.Count(),
+			db.ClusterRel.Index.Levels(), db.ClusterRel.Index.NumPages())
+		fmt.Printf("  clustering: %d scattered slots, mean fragments/unit %.2f\n",
+			db.Assignment.Scattered, cluster.MeanFragments(db.Assignment, db.Units))
+	}
+	if db.Cache != nil {
+		fmt.Printf("  cache: capacity %d units, %d buckets\n", db.Cache.Capacity(), db.Cfg.CacheBuckets)
+	}
+	fmt.Printf("  disk: %d pages (%.1f MB)\n", db.Disk.NumPages(), float64(db.Disk.NumPages())*2048/1e6)
+
+	fmt.Printf("\nprobe: %d retrieves at NumTop=%d, Pr(UPDATE)=%.2f\n", *queries, *numTop, *prUpdate)
+	for _, k := range strategy.AllKinds {
+		st, err := strategy.New(k, db)
+		if err != nil {
+			fmt.Printf("  %-10s (skipped: %v)\n", k, err)
+			continue
+		}
+		ops := db.GenSequence(*queries, *prUpdate, *numTop)
+		m, err := harness.Execute(db, st, ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %s\n", m)
+		if db.Cache != nil {
+			if err := db.Cache.Clear(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

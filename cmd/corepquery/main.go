@@ -1,0 +1,162 @@
+// Command corepquery is an interactive shell for the object API's
+// retrieve language, preloaded with the paper's example database
+// (persons, cyclists, and groups under all three primary
+// representations).
+//
+// Usage:
+//
+//	corepquery                          # interactive
+//	echo 'retrieve (person.name) where person.age >= 60' | corepquery
+//
+// Commands:
+//
+//	retrieve (...) [where ...]   run a query
+//	\path <group-key>            retrieve (group.members.name) for one group
+//	\stats                       cumulative simulated I/O
+//	\help                        this text
+//	\quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"corep"
+)
+
+func main() {
+	db, groups, err := buildExampleDB()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("corep query shell — the paper's example database is loaded.")
+	fmt.Println("relations: person(OID,name,age), cyclist(OID,name), group(key,name,members)")
+	fmt.Printf("groups: %s\n", strings.Join(groups, ", "))
+	fmt.Println(`try: retrieve (person.name, person.age) where person.age >= 60`)
+	fmt.Println(`     \path 1    \stats    \help    \quit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := isTerminal()
+	for {
+		if interactive {
+			fmt.Print("corep> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\help`:
+			fmt.Println(`retrieve (...) [where ...] | \path <key> | \stats | \quit`)
+		case line == `\stats`:
+			s := db.Stats()
+			fmt.Printf("simulated I/O: %d reads, %d writes\n", s.Reads, s.Writes)
+		case strings.HasPrefix(line, `\path`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\path`))
+			key, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				fmt.Println("usage: \\path <group-key>")
+				continue
+			}
+			vals, err := db.RetrievePath("group", "members", "name", key, key)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, v := range vals {
+				fmt.Println(" ", v.Str)
+			}
+		default:
+			res, err := db.Query(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(strings.Join(res.Columns, " | "))
+			for _, row := range res.Rows {
+				cells := make([]string, len(row))
+				for i, v := range row {
+					cells[i] = v.String()
+				}
+				fmt.Println(strings.Join(cells, " | "))
+			}
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		}
+	}
+}
+
+// buildExampleDB loads the §2 example.
+func buildExampleDB() (*corep.Database, []string, error) {
+	db := corep.NewDatabase(100)
+	person, err := db.CreateRelation("person",
+		corep.IntField("OID"), corep.StrField("name"), corep.IntField("age"))
+	if err != nil {
+		return nil, nil, err
+	}
+	oids := map[string]corep.OID{}
+	for i, p := range []struct {
+		name string
+		age  int64
+	}{
+		{"John", 62}, {"Mary", 62}, {"Paul", 68},
+		{"Jill", 8}, {"Bill", 12}, {"Mike", 44},
+	} {
+		oid, err := person.Insert(corep.Row{corep.Int(int64(i + 1)), corep.Str(p.name), corep.Int(p.age)})
+		if err != nil {
+			return nil, nil, err
+		}
+		oids[p.name] = oid
+	}
+	cyclist, err := db.CreateRelation("cyclist",
+		corep.IntField("OID"), corep.StrField("name"))
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, name := range []string{"Mary", "Mike"} {
+		if _, err := cyclist.Insert(corep.Row{corep.Int(int64(i + 1)), corep.Str(name)}); err != nil {
+			return nil, nil, err
+		}
+	}
+	group, err := db.CreateRelation("group",
+		corep.IntField("key"), corep.StrField("name"), corep.ChildrenField("members"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defs := []struct {
+		key      int64
+		name     string
+		children corep.Children
+	}{
+		{1, "elders", corep.ProcChildren(`retrieve (person.all) where person.age >= 60`)},
+		{2, "children", corep.ProcChildren(`retrieve (person.all) where person.age <= 15`)},
+		{3, "cyclists", corep.OIDChildren(oids["Mary"], oids["Mike"])},
+	}
+	var names []string
+	for _, g := range defs {
+		if _, err := group.InsertWith(
+			corep.Row{corep.Int(g.key), corep.Str(g.name), corep.Value{}},
+			map[string]corep.Children{"members": g.children}); err != nil {
+			return nil, nil, err
+		}
+		names = append(names, fmt.Sprintf("%d=%s", g.key, g.name))
+	}
+	return db, names, nil
+}
+
+// isTerminal reports whether stdin looks interactive (best effort, no
+// syscalls beyond Stat).
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

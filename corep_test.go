@@ -1,0 +1,339 @@
+package corep_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"corep"
+)
+
+// --- workload API ---
+
+func newBenchWorkload(t *testing.T) *corep.Workload {
+	t.Helper()
+	w, err := corep.NewWorkload(corep.WorkloadConfig{
+		NumParents: 500,
+		UseFactor:  5,
+		Clustered:  true,
+		CacheUnits: 50,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorkloadRetrieveAllStrategies(t *testing.T) {
+	w := newBenchWorkload(t)
+	q := corep.Query{Lo: 10, Hi: 29, AttrIdx: corep.Ret1}
+	var want []int64
+	for i, s := range corep.Strategies {
+		res, err := w.Retrieve(s, q)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if s == corep.BFSNoDup {
+			continue // set semantics
+		}
+		got := append([]int64(nil), res.Values...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if i == 0 {
+			want = got
+			if len(want) != 20*5 {
+				t.Fatalf("expected 100 values, got %d", len(want))
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v returned %d values, want %d", s, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("%v disagrees at %d", s, j)
+			}
+		}
+	}
+}
+
+func TestWorkloadMeasure(t *testing.T) {
+	w := newBenchWorkload(t)
+	ops := w.GenSequence(20, 0.25, 10)
+	m, err := w.Measure(corep.BFS, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retrieves != 20 {
+		t.Fatalf("retrieves = %d", m.Retrieves)
+	}
+	if m.Updates == 0 {
+		t.Fatal("no updates in mixed sequence")
+	}
+	if m.AvgIO <= 0 {
+		t.Fatalf("avg I/O = %f", m.AvgIO)
+	}
+}
+
+func TestWorkloadStatsAndReset(t *testing.T) {
+	w := newBenchWorkload(t)
+	if _, err := w.Retrieve(corep.DFS, corep.Query{Lo: 0, Hi: 9, AttrIdx: corep.Ret2}); err != nil {
+		t.Fatal(err)
+	}
+	if s := w.Stats(); s.Reads == 0 {
+		t.Fatal("no reads counted")
+	}
+	if err := w.ResetCold(); err != nil {
+		t.Fatal(err)
+	}
+	if s := w.Stats(); s.Reads != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestListAndRunExperiment(t *testing.T) {
+	exps := corep.ListExperiments()
+	if len(exps) < 6 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	names := map[string]bool{}
+	for _, e := range exps {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"fig3", "fig4", "fig5", "fig7", "nchild", "smart"} {
+		if !names[want] {
+			t.Fatalf("experiment %q missing", want)
+		}
+	}
+	if _, err := corep.RunExperiment("no-such-figure", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// --- object API ---
+
+func buildScientists(t *testing.T) (*corep.Database, map[string]corep.OID) {
+	t.Helper()
+	db := corep.NewDatabase(64)
+	person, err := db.CreateRelation("person",
+		corep.IntField("OID"), corep.StrField("name"), corep.IntField("age"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oids := map[string]corep.OID{}
+	for i, p := range []struct {
+		name string
+		age  int64
+	}{{"John", 62}, {"Mary", 62}, {"Paul", 68}, {"Jill", 8}} {
+		oid, err := person.Insert(corep.Row{corep.Int(int64(i + 1)), corep.Str(p.name), corep.Int(p.age)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids[p.name] = oid
+	}
+	return db, oids
+}
+
+func TestObjectAPIOIDRepresentation(t *testing.T) {
+	db, oids := buildScientists(t)
+	group, err := db.CreateRelation("group",
+		corep.IntField("key"), corep.StrField("name"), corep.ChildrenField("members"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := group.InsertWith(
+		corep.Row{corep.Int(1), corep.Str("elders"), corep.Value{}},
+		map[string]corep.Children{"members": corep.OIDChildren(oids["John"], oids["Mary"], oids["Paul"])},
+	); err != nil {
+		t.Fatal(err)
+	}
+	names, err := db.RetrievePath("group", "members", "name", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := joinVals(names); got != "John Mary Paul" {
+		t.Fatalf("members = %q", got)
+	}
+	res, err := group.Resolve(1, "members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Representation != "oid" || len(res.OIDs) != 3 {
+		t.Fatalf("resolve = %+v", res)
+	}
+}
+
+func TestObjectAPIProceduralRepresentation(t *testing.T) {
+	db, _ := buildScientists(t)
+	group, err := db.CreateRelation("group",
+		corep.IntField("key"), corep.StrField("name"), corep.ChildrenField("members"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := group.InsertWith(
+		corep.Row{corep.Int(1), corep.Str("elders"), corep.Value{}},
+		map[string]corep.Children{"members": corep.ProcChildren(`retrieve (person.all) where person.age >= 60`)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	names, err := db.RetrievePath("group", "members", "name", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := joinVals(names); got != "John Mary Paul" {
+		t.Fatalf("members = %q", got)
+	}
+	// A stored query that does not parse is rejected at insert time.
+	if _, err := group.InsertWith(
+		corep.Row{corep.Int(2), corep.Str("bad"), corep.Value{}},
+		map[string]corep.Children{"members": corep.ProcChildren(`select * from person`)},
+	); err == nil {
+		t.Fatal("unparseable stored query accepted")
+	}
+}
+
+func TestObjectAPIValueRepresentation(t *testing.T) {
+	db, _ := buildScientists(t)
+	person := mustRelation(t, db, "person")
+	group, err := db.CreateRelation("group",
+		corep.IntField("key"), corep.StrField("name"), corep.ChildrenField("members"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []corep.Row{
+		{corep.Int(1), corep.Str("John"), corep.Int(62)},
+		{corep.Int(2), corep.Str("Mary"), corep.Int(62)},
+	}
+	if _, err := group.InsertWith(
+		corep.Row{corep.Int(1), corep.Str("elders"), corep.Value{}},
+		map[string]corep.Children{"members": corep.ValueChildren(person, rows...)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	names, err := db.RetrievePath("group", "members", "name", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := joinVals(names); got != "John Mary" {
+		t.Fatalf("members = %q", got)
+	}
+}
+
+// mustRelation reopens a relation handle by creating a throwaway
+// wrapper; the public API keeps handles from CreateRelation, so tests
+// stash one via a second create of the same name being rejected.
+func mustRelation(t *testing.T, db *corep.Database, name string) *corep.Relation {
+	t.Helper()
+	// CreateRelation with a duplicate name fails, so rebuild the wrapper
+	// through the documented path: the examples hold on to the handle;
+	// here we re-create person under a shape-only alias.
+	shape, err := db.CreateRelation(name+"_shape",
+		corep.IntField("OID"), corep.StrField("name"), corep.IntField("age"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shape
+}
+
+func TestObjectAPIQuery(t *testing.T) {
+	db, _ := buildScientists(t)
+	res, err := db.Query(`retrieve (person.name) where person.age <= 15`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "Jill" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Columns[0] != "person.name" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestObjectAPIFetchAndRelationOf(t *testing.T) {
+	db, oids := buildScientists(t)
+	row, err := db.Fetch(oids["Mary"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[1].Str != "Mary" || row[2].Int != 62 {
+		t.Fatalf("row = %v", row)
+	}
+	name, err := db.RelationOf(oids["Mary"])
+	if err != nil || name != "person" {
+		t.Fatalf("relation = %q, %v", name, err)
+	}
+}
+
+func TestObjectAPIErrors(t *testing.T) {
+	db := corep.NewDatabase(16)
+	if _, err := db.CreateRelation("bad", corep.StrField("name")); err == nil {
+		t.Fatal("non-integer key accepted")
+	}
+	rel, err := db.CreateRelation("r", corep.IntField("k"), corep.StrField("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rel.Insert(corep.Row{corep.Int(1)}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := rel.Resolve(1, "v"); err == nil {
+		t.Fatal("resolve of non-children attribute accepted")
+	}
+	if _, err := db.RetrievePath("ghost", "members", "name", 0, 1); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestRepresentationMatrixExported(t *testing.T) {
+	cells := corep.RepresentationMatrix()
+	if len(cells) != 9 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	studiedHere := 0
+	for _, c := range cells {
+		if strings.Contains(c.Studied, "this paper") {
+			studiedHere++
+		}
+	}
+	if studiedHere != 2 {
+		t.Fatalf("OID column cells studied = %d, want 2", studiedHere)
+	}
+}
+
+func joinVals(vals []corep.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.Str
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestRenderExperiment(t *testing.T) {
+	// Smallest real experiment at quick scale is still seconds; exercise
+	// the rendering path through the error branch plus a real run of the
+	// cheapest experiment.
+	var sb strings.Builder
+	if err := corep.RenderExperiment(&sb, "no-such", true, false); err == nil {
+		t.Fatal("unknown experiment rendered")
+	}
+	if err := corep.RenderExperiment(&sb, "abl-cachesize", true, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "abl-cachesize") || !strings.Contains(out, "SizeCache") {
+		t.Fatalf("render output missing table:\n%s", out)
+	}
+}
+
+func TestVerifySelfCheckAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check runs full quick-scale agreement")
+	}
+	var sb strings.Builder
+	if err := corep.VerifySelfCheck(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "PASS") {
+		t.Fatalf("self-check output:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,461 @@
+package corep
+
+import (
+	"errors"
+	"fmt"
+
+	"corep/internal/buffer"
+	"corep/internal/cache"
+	"corep/internal/catalog"
+	"corep/internal/disk"
+	"corep/internal/object"
+	"corep/internal/pql"
+	"corep/internal/tuple"
+)
+
+// This file is the object API: a small complex-object database for user
+// schemas, supporting the paper's representation matrix (§2) — an
+// object's subobjects can be represented procedurally (a stored
+// retrieve query), as an OID list, or value-based (inline) — with
+// multi-dot path retrieval and a QUEL-like retrieve language.
+
+// Value is one field value (integer, character, or raw bytes).
+type Value = tuple.Value
+
+// Convenience constructors for Row values.
+var (
+	Int = tuple.IntVal
+	Str = tuple.StrVal
+)
+
+// Row is an ordered list of field values.
+type Row = tuple.Tuple
+
+// OID identifies an object: relation id ⊕ primary key (§2.2).
+type OID = object.OID
+
+// FieldDef declares one attribute of a relation.
+type FieldDef struct {
+	Name string
+	Kind FieldKind
+}
+
+// FieldKind enumerates attribute types of the object API.
+type FieldKind uint8
+
+// Field kinds: integers, character strings, and children — a
+// subobject-set attribute holding any of the three primary
+// representations.
+const (
+	FieldInt FieldKind = iota
+	FieldString
+	FieldChildren
+)
+
+// IntField declares an integer attribute.
+func IntField(name string) FieldDef { return FieldDef{Name: name, Kind: FieldInt} }
+
+// StrField declares a character attribute.
+func StrField(name string) FieldDef { return FieldDef{Name: name, Kind: FieldString} }
+
+// ChildrenField declares a subobject-set attribute.
+func ChildrenField(name string) FieldDef { return FieldDef{Name: name, Kind: FieldChildren} }
+
+// statsDisk is the disk interface the object API needs: page transfer
+// plus counter reset (both the in-memory and file backends satisfy it).
+type statsDisk interface {
+	disk.Manager
+	ResetStats()
+}
+
+// Database is an object database over the storage engine — in-memory
+// (NewDatabase) or file-backed (OpenDatabaseFile).
+type Database struct {
+	dsk  statsDisk
+	pool *buffer.Pool
+	cat  *catalog.Catalog
+
+	// file and meta are set for file-backed databases (persistence).
+	file *disk.FileDisk
+	meta string
+	// rels indexes the relation handles for Relation()/Checkpoint.
+	rels map[string]*Relation
+
+	// cache is the optional outside value cache (EnableCache).
+	cache *cache.Cache
+	// cacheMode selects what procedural children cache (SetCacheMode).
+	cacheMode CacheMode
+}
+
+// NewDatabase creates an in-memory database with the given buffer-pool
+// size in 2 KB pages (the paper used 100).
+func NewDatabase(bufferPages int) *Database {
+	if bufferPages <= 0 {
+		bufferPages = buffer.DefaultPoolSize
+	}
+	d := disk.NewSim()
+	pool := buffer.New(d, bufferPages)
+	return &Database{dsk: d, pool: pool, cat: catalog.New(pool), rels: map[string]*Relation{}}
+}
+
+// Relation is a named relation keyed by its first integer attribute.
+type Relation struct {
+	db     *Database
+	rel    *catalog.Relation
+	schema *tuple.Schema
+	// childAttrs remembers which attributes are children fields.
+	childAttrs map[string]bool
+}
+
+// CreateRelation creates a B-tree relation. The first field must be an
+// integer; it is the primary key, and an object's OID is the relation id
+// concatenated with it.
+func (d *Database) CreateRelation(name string, fields ...FieldDef) (*Relation, error) {
+	if len(fields) == 0 || fields[0].Kind != FieldInt {
+		return nil, errors.New("corep: first field must be an integer key")
+	}
+	tf := make([]tuple.Field, len(fields))
+	childAttrs := map[string]bool{}
+	for i, f := range fields {
+		switch f.Kind {
+		case FieldInt:
+			tf[i] = tuple.Field{Name: f.Name, Kind: tuple.KInt}
+		case FieldString:
+			tf[i] = tuple.Field{Name: f.Name, Kind: tuple.KString}
+		case FieldChildren:
+			tf[i] = tuple.Field{Name: f.Name, Kind: tuple.KBytes}
+			childAttrs[f.Name] = true
+		default:
+			return nil, fmt.Errorf("corep: unknown field kind %d", f.Kind)
+		}
+	}
+	schema := tuple.NewSchema(tf...)
+	rel, err := d.cat.CreateBTree(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relation{db: d, rel: rel, schema: schema, childAttrs: childAttrs}
+	d.rels[name] = r
+	return r, nil
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.rel.Name }
+
+// Children is a value for a children attribute: exactly one of the
+// three primary representations of §2.1.
+type Children struct {
+	rep  object.Primary
+	oids []OID
+	proc string
+	// value-based: the subobject rows and the relation whose schema they
+	// follow (they are stored inline; the relation only lends its shape).
+	rows   []Row
+	rowRel *Relation
+}
+
+// OIDChildren represents subobjects by identifier (§2.2).
+func OIDChildren(oids ...OID) Children { return Children{rep: object.OIDs, oids: oids} }
+
+// ProcChildren represents subobjects by a stored retrieve query
+// (§2.1.1), e.g. `retrieve (person.all) where person.age >= 60`.
+func ProcChildren(query string) Children { return Children{rep: object.Procedural, proc: query} }
+
+// ValueChildren stores subobject values inline (§2.2.1). The rows follow
+// shape's schema; shared subobjects are physically replicated, exactly
+// the representation's trade-off.
+func ValueChildren(shape *Relation, rows ...Row) Children {
+	return Children{rep: object.ValueBased, rows: rows, rowRel: shape}
+}
+
+// Representation returns which primary representation the value uses.
+func (c Children) Representation() string { return c.rep.String() }
+
+// children-field encoding: 1 tag byte, then representation-specific.
+const (
+	tagOIDs  = 'O'
+	tagProc  = 'P'
+	tagValue = 'V'
+)
+
+func (c Children) encode() ([]byte, error) {
+	switch c.rep {
+	case object.OIDs:
+		return append([]byte{tagOIDs}, object.EncodeOIDs(c.oids)...), nil
+	case object.Procedural:
+		if _, err := pql.Parse(c.proc); err != nil {
+			return nil, fmt.Errorf("corep: stored query does not parse: %w", err)
+		}
+		return append([]byte{tagProc}, []byte(c.proc)...), nil
+	case object.ValueBased:
+		raw, err := object.EncodeNested(c.rowRel.schema, c.rows)
+		if err != nil {
+			return nil, err
+		}
+		var hdr [3]byte
+		hdr[0] = tagValue
+		hdr[1] = byte(c.rowRel.rel.ID)
+		hdr[2] = byte(c.rowRel.rel.ID >> 8)
+		return append(hdr[:], raw...), nil
+	}
+	return nil, fmt.Errorf("corep: children value without a representation")
+}
+
+// Insert stores a row. Children attributes take a Children value passed
+// via InsertWith; plain Insert requires the relation to have none.
+func (r *Relation) Insert(row Row) (OID, error) {
+	return r.InsertWith(row, nil)
+}
+
+// InsertWith stores a row whose children attributes are given
+// separately, keyed by attribute name.
+func (r *Relation) InsertWith(row Row, children map[string]Children) (OID, error) {
+	if len(row) != r.schema.NumFields() {
+		return 0, fmt.Errorf("corep: %d values for %d fields", len(row), r.schema.NumFields())
+	}
+	full := make(Row, len(row))
+	copy(full, row)
+	for name := range r.childAttrs {
+		i := r.schema.MustIndex(name)
+		c, ok := children[name]
+		if !ok {
+			// Default: an empty OID list.
+			c = OIDChildren()
+		}
+		raw, err := c.encode()
+		if err != nil {
+			return 0, err
+		}
+		full[i] = tuple.BytesVal(raw)
+	}
+	if full[0].Kind != tuple.KInt {
+		return 0, errors.New("corep: key value must be an integer")
+	}
+	key := full[0].Int
+	rec, err := tuple.Encode(nil, r.schema, full)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.rel.Tree.Insert(key, rec); err != nil {
+		return 0, err
+	}
+	if r.db.cache != nil {
+		// A new tuple may satisfy stored procedural predicates over this
+		// relation; the relation-level lock invalidates those results.
+		if _, err := r.db.cache.Invalidate(relLockOID(r.rel.ID)); err != nil {
+			return 0, err
+		}
+	}
+	return object.NewOID(r.rel.ID, key), nil
+}
+
+// Get fetches the row with the given key.
+func (r *Relation) Get(key int64) (Row, error) {
+	rec, err := r.rel.Tree.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return tuple.Decode(r.schema, rec)
+}
+
+// Fetch resolves any OID to its row.
+func (d *Database) Fetch(oid OID) (Row, error) {
+	rel, err := d.cat.ByID(oid.Rel())
+	if err != nil {
+		return nil, err
+	}
+	rec, err := rel.Tree.Get(oid.Key())
+	if err != nil {
+		return nil, err
+	}
+	return tuple.Decode(rel.Schema, rec)
+}
+
+// RelationOf returns the name of the relation an OID references.
+func (d *Database) RelationOf(oid OID) (string, error) {
+	rel, err := d.cat.ByID(oid.Rel())
+	if err != nil {
+		return "", err
+	}
+	return rel.Name, nil
+}
+
+// Resolved is the result of resolving a children attribute: either
+// subobject OIDs (OID representation — fetch them with Fetch) or
+// materialized rows (procedural and value-based representations).
+type Resolved struct {
+	Representation string
+	OIDs           []OID
+	Rows           []Row
+	// Schema names the row attributes (procedural rows come back as
+	// rel.attr names from the stored query's target list).
+	Schema []string
+}
+
+// Resolve evaluates the children attribute attr of the object with the
+// given key.
+func (r *Relation) Resolve(key int64, attr string) (*Resolved, error) {
+	if !r.childAttrs[attr] {
+		return nil, fmt.Errorf("corep: %s.%s is not a children attribute", r.rel.Name, attr)
+	}
+	ai := r.schema.Index(attr)
+	if ai < 0 {
+		return nil, fmt.Errorf("corep: %s has no attribute %q", r.rel.Name, attr)
+	}
+	row, err := r.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	raw := row[ai].Raw
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("corep: %s.%s is empty", r.rel.Name, attr)
+	}
+	switch raw[0] {
+	case tagOIDs:
+		oids, err := object.DecodeOIDs(raw[1:])
+		if err != nil {
+			return nil, err
+		}
+		return &Resolved{Representation: object.OIDs.String(), OIDs: oids}, nil
+	case tagProc:
+		res, err := pql.Run(r.db.cat, string(raw[1:]))
+		if err != nil {
+			return nil, err
+		}
+		return &Resolved{
+			Representation: object.Procedural.String(),
+			Rows:           res.Tuples,
+			Schema:         res.Schema.Names(),
+		}, nil
+	case tagValue:
+		if len(raw) < 3 {
+			return nil, errors.New("corep: malformed value-based children")
+		}
+		relID := uint16(raw[1]) | uint16(raw[2])<<8
+		rel, err := r.db.cat.ByID(relID)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := object.DecodeNested(rel.Schema, raw[3:])
+		if err != nil {
+			return nil, err
+		}
+		return &Resolved{
+			Representation: object.ValueBased.String(),
+			Rows:           rows,
+			Schema:         rel.Schema.Names(),
+		}, nil
+	}
+	return nil, fmt.Errorf("corep: unknown children tag %q", raw[0])
+}
+
+// RetrievePath answers a multi-dot query like §3's
+//
+//	retrieve (group.members.name) where lo ≤ group.key ≤ hi
+//
+// resolving whichever representation each object stores and projecting
+// targetAttr from every subobject. Procedural subobject rows must carry
+// targetAttr in the stored query's target list.
+func (d *Database) RetrievePath(relName, childrenAttr, targetAttr string, lo, hi int64) ([]Value, error) {
+	crel, err := d.cat.Get(relName)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relation{db: d, rel: crel, schema: crel.Schema, childAttrs: map[string]bool{childrenAttr: true}}
+	var out []Value
+	err = crel.Tree.Range(lo, hi, func(key int64, _ []byte) (bool, error) {
+		res, rerr := r.Resolve(key, childrenAttr)
+		if rerr != nil {
+			return false, rerr
+		}
+		if res.OIDs != nil {
+			for _, oid := range res.OIDs {
+				row, ferr := d.Fetch(oid)
+				if ferr != nil {
+					return false, ferr
+				}
+				srel, ferr := d.cat.ByID(oid.Rel())
+				if ferr != nil {
+					return false, ferr
+				}
+				i := srel.Schema.Index(targetAttr)
+				if i < 0 {
+					return false, fmt.Errorf("corep: %s has no attribute %q", srel.Name, targetAttr)
+				}
+				out = append(out, row[i])
+			}
+			return true, nil
+		}
+		i := indexOfAttr(res.Schema, targetAttr)
+		if i < 0 {
+			return false, fmt.Errorf("corep: resolved rows have no attribute %q (have %v)", targetAttr, res.Schema)
+		}
+		for _, row := range res.Rows {
+			out = append(out, row[i])
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// indexOfAttr finds attr among names, accepting both "attr" and the
+// "rel.attr" form the query language produces.
+func indexOfAttr(names []string, attr string) int {
+	for i, n := range names {
+		if n == attr {
+			return i
+		}
+		if len(n) > len(attr) && n[len(n)-len(attr)-1] == '.' && n[len(n)-len(attr):] == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// QueryResult is a materialized result of the retrieve language.
+type QueryResult struct {
+	Columns []string
+	Rows    []Row
+}
+
+// Query runs a QUEL-like retrieve statement, e.g.
+//
+//	retrieve (person.name, person.age) where person.age >= 60
+func (d *Database) Query(src string) (*QueryResult, error) {
+	res, err := pql.Run(d.cat, src)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Columns: res.Schema.Names(), Rows: res.Tuples}, nil
+}
+
+// Stats returns cumulative simulated I/O counters.
+func (d *Database) Stats() IOStats {
+	s := d.dsk.Stats()
+	return IOStats{Reads: s.Reads, Writes: s.Writes}
+}
+
+// ResetCold flushes and empties the buffer pool and zeroes the I/O
+// counters.
+func (d *Database) ResetCold() error {
+	if err := d.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := d.pool.Invalidate(); err != nil {
+		return err
+	}
+	d.dsk.ResetStats()
+	return nil
+}
+
+// RepresentationMatrixCell describes one cell of the paper's Figure 1.
+type RepresentationMatrixCell = object.MatrixCell
+
+// RepresentationMatrix returns Figure 1 as data: every (primary, cached)
+// combination, its validity, and which study covers it.
+func RepresentationMatrix() []RepresentationMatrixCell {
+	return object.RepresentationMatrix()
+}

@@ -1,0 +1,369 @@
+package corep
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"corep/internal/cache"
+	"corep/internal/object"
+	"corep/internal/pql"
+	"corep/internal/tuple"
+)
+
+// procCacheKey derives a synthetic one-member unit from a stored query's
+// text; relation id 0xFFFF keeps it out of real OID space.
+func procCacheKey(src string) object.Unit {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	return object.Unit{object.NewOID(0xFFFF, int64(h.Sum64())&object.MaxKey)}
+}
+
+// relLockOID is a pseudo-OID standing for "any tuple of this relation".
+// Cached procedural results hold an I-lock on it so that inserts or
+// updates which make a previously non-qualifying tuple satisfy the
+// stored predicate still invalidate (the coarse analogue of POSTGRES
+// range markers; per-tuple I-locks alone cannot see such tuples).
+func relLockOID(relID uint16) object.OID { return object.NewOID(relID, object.MaxKey) }
+
+// This file adds the cached representations of the matrix (§2.3) to the
+// object API: an optional outside value cache that RetrievePath consults
+// for OID-represented and procedural children, and in-place updates with
+// I-lock invalidation so the cache never serves stale subobjects.
+
+// EnableCache attaches an outside value cache of at most maxUnits units
+// (the paper's SizeCache). RetrievePath then caches materialized units —
+// the `OID × values` and `procedural × values` cells of Figure 1.
+func (d *Database) EnableCache(maxUnits int) error {
+	if d.cache != nil {
+		return errors.New("corep: cache already enabled")
+	}
+	buckets := maxUnits / 4
+	if buckets < 16 {
+		buckets = 16
+	}
+	c, err := cache.New(d.pool, maxUnits, buckets, 1)
+	if err != nil {
+		return err
+	}
+	d.cache = c
+	return nil
+}
+
+// CacheStats reports cache event counters (zero value when no cache).
+type CacheStats = cache.Stats
+
+// CacheStats returns the cache counters.
+func (d *Database) CacheStats() CacheStats {
+	if d.cache == nil {
+		return CacheStats{}
+	}
+	return d.cache.Stats()
+}
+
+// CachedUnits returns how many units are currently cached.
+func (d *Database) CachedUnits() int {
+	if d.cache == nil {
+		return 0
+	}
+	return d.cache.Len()
+}
+
+// Update replaces the non-children attributes of the row with the given
+// key, in place, and invalidates every cached unit holding an I-lock on
+// the updated object (§3.2). Children attributes keep their stored
+// representation.
+func (r *Relation) Update(key int64, row Row) error {
+	old, err := r.Get(key)
+	if err != nil {
+		return err
+	}
+	if len(row) != len(old) {
+		return fmt.Errorf("corep: %d values for %d fields", len(row), len(old))
+	}
+	full := make(Row, len(old))
+	copy(full, row)
+	for name := range r.childAttrs {
+		i := r.schema.MustIndex(name)
+		full[i] = old[i] // representation unchanged
+	}
+	if full[0].Kind != tuple.KInt || full[0].Int != key {
+		return errors.New("corep: update must keep the key")
+	}
+	rec, err := tuple.Encode(nil, r.schema, full)
+	if err != nil {
+		return err
+	}
+	if err := r.rel.Tree.Update(key, rec); err != nil {
+		return err
+	}
+	if r.db.cache != nil {
+		if _, err := r.db.cache.Invalidate(object.NewOID(r.rel.ID, key)); err != nil {
+			return err
+		}
+		if _, err := r.db.cache.Invalidate(relLockOID(r.rel.ID)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unitValue frames resolved rows for cache storage: length-prefixed
+// encoded tuples under the subobject relation's schema.
+func encodeRowsForCache(s *tuple.Schema, rows []Row) ([]byte, error) {
+	return object.EncodeNested(s, rows)
+}
+
+func decodeRowsFromCache(s *tuple.Schema, raw []byte) ([]Row, error) {
+	return object.DecodeNested(s, raw)
+}
+
+// resolveCached is Resolve plus outside caching for the representations
+// where precomputation helps: OID children cache the materialized unit;
+// procedural children cache the stored query's result. Value-based
+// children are already materialized (the shaded cells of Figure 1).
+func (r *Relation) resolveCached(key int64, attr string) (*Resolved, error) {
+	if r.db.cache == nil {
+		return r.Resolve(key, attr)
+	}
+	row, err := r.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	raw := row[r.schema.MustIndex(attr)].Raw
+	if len(raw) == 0 || raw[0] == tagValue {
+		return r.Resolve(key, attr)
+	}
+
+	switch raw[0] {
+	case tagOIDs:
+		oids, err := object.DecodeOIDs(raw[1:])
+		if err != nil {
+			return nil, err
+		}
+		if len(oids) == 0 {
+			return &Resolved{Representation: object.OIDs.String()}, nil
+		}
+		// All-same-relation units cache whole; mixed units fall back.
+		relID := oids[0].Rel()
+		for _, o := range oids {
+			if o.Rel() != relID {
+				return r.Resolve(key, attr)
+			}
+		}
+		srel, err := r.db.cat.ByID(relID)
+		if err != nil {
+			return nil, err
+		}
+		unit := object.Unit(oids)
+		if v, ok, err := r.db.cache.Lookup(unit); err != nil {
+			return nil, err
+		} else if ok {
+			rows, err := decodeRowsFromCache(srel.Schema, v)
+			if err != nil {
+				return nil, err
+			}
+			return &Resolved{
+				Representation: object.OIDs.String(),
+				Rows:           rows,
+				Schema:         srel.Schema.Names(),
+			}, nil
+		}
+		// Materialize, answer, cache (with I-locks on each member).
+		rows := make([]Row, 0, len(oids))
+		for _, oid := range oids {
+			t, err := r.db.Fetch(oid)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, t)
+		}
+		v, err := encodeRowsForCache(srel.Schema, rows)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.db.cache.Insert(unit, v); err != nil {
+			return nil, err
+		}
+		return &Resolved{
+			Representation: object.OIDs.String(),
+			Rows:           rows,
+			Schema:         srel.Schema.Names(),
+		}, nil
+
+	case tagProc:
+		src := string(raw[1:])
+		if r.db.cacheMode == CacheOIDs {
+			return r.resolveProcCachedOIDs(src)
+		}
+		// Procedural × values (the [JHIN88] column). The cache key
+		// derives from the stored query text, so two objects storing the
+		// same query share one entry (outside caching); the I-locks go on
+		// the result's source tuples, so updating any member invalidates.
+		q, err := pql.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := pql.ResultSchema(r.db.cat, q)
+		if err != nil {
+			return nil, err
+		}
+		keyUnit := procCacheKey(src)
+		if v, ok, err := r.db.cache.Lookup(keyUnit); err != nil {
+			return nil, err
+		} else if ok {
+			rows, err := decodeRowsFromCache(schema, v)
+			if err != nil {
+				return nil, err
+			}
+			return &Resolved{
+				Representation: object.Procedural.String(),
+				Rows:           rows,
+				Schema:         schema.Names(),
+			}, nil
+		}
+		res, err := pql.Execute(r.db.cat, q)
+		if err != nil {
+			return nil, err
+		}
+		// Only single-relation results report their sources; joins are
+		// served uncached (no sound invalidation target).
+		if len(res.Sources) == len(res.Tuples) && len(res.Tuples) > 0 {
+			locks := make([]object.OID, len(res.Sources), len(res.Sources)+len(q.Relations()))
+			for i, s := range res.Sources {
+				locks[i] = object.NewOID(s.RelID, s.Key)
+			}
+			for _, relName := range q.Relations() {
+				if rel, rerr := r.db.cat.Get(relName); rerr == nil {
+					locks = append(locks, relLockOID(rel.ID))
+				}
+			}
+			v, err := encodeRowsForCache(schema, res.Tuples)
+			if err != nil {
+				return nil, err
+			}
+			if err := r.db.cache.InsertWithLocks(keyUnit, locks, v); err != nil {
+				return nil, err
+			}
+		}
+		return &Resolved{
+			Representation: object.Procedural.String(),
+			Rows:           res.Tuples,
+			Schema:         res.Schema.Names(),
+		}, nil
+	}
+	return r.Resolve(key, attr)
+}
+
+// RetrievePathCached is RetrievePath through the cache enabled with
+// EnableCache; without a cache it behaves identically to RetrievePath.
+func (d *Database) RetrievePathCached(relName, childrenAttr, targetAttr string, lo, hi int64) ([]Value, error) {
+	crel, err := d.cat.Get(relName)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relation{db: d, rel: crel, schema: crel.Schema, childAttrs: map[string]bool{childrenAttr: true}}
+	var out []Value
+	err = crel.Tree.Range(lo, hi, func(key int64, _ []byte) (bool, error) {
+		res, rerr := r.resolveCached(key, childrenAttr)
+		if rerr != nil {
+			return false, rerr
+		}
+		if res.OIDs != nil {
+			for _, oid := range res.OIDs {
+				row, ferr := d.Fetch(oid)
+				if ferr != nil {
+					return false, ferr
+				}
+				srel, ferr := d.cat.ByID(oid.Rel())
+				if ferr != nil {
+					return false, ferr
+				}
+				i := srel.Schema.Index(targetAttr)
+				if i < 0 {
+					return false, fmt.Errorf("corep: %s has no attribute %q", srel.Name, targetAttr)
+				}
+				out = append(out, row[i])
+			}
+			return true, nil
+		}
+		i := indexOfAttr(res.Schema, targetAttr)
+		if i < 0 {
+			return false, fmt.Errorf("corep: resolved rows have no attribute %q (have %v)", targetAttr, res.Schema)
+		}
+		for _, row := range res.Rows {
+			out = append(out, row[i])
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RetrievePathN answers a query with more than two dots, e.g.
+//
+//	retrieve (cell.paths.rects.layer)
+//
+// by resolving each children attribute level in turn ("queries
+// involving more than two dots in the target list require more levels
+// of relationships to be explored", §3). All intermediate levels must
+// use the OID representation; the final attribute is projected from the
+// leaf objects.
+func (d *Database) RetrievePathN(relName string, attrs []string, lo, hi int64) ([]Value, error) {
+	if len(attrs) < 2 {
+		return nil, errors.New("corep: RetrievePathN needs at least one children attribute and a target")
+	}
+	childAttrs, targetAttr := attrs[:len(attrs)-1], attrs[len(attrs)-1]
+	crel, err := d.cat.Get(relName)
+	if err != nil {
+		return nil, err
+	}
+	// Level 0: qualifying roots.
+	frontier := make([]object.OID, 0, hi-lo+1)
+	err = crel.Tree.Range(lo, hi, func(key int64, _ []byte) (bool, error) {
+		frontier = append(frontier, object.NewOID(crel.ID, key))
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Depth-first level expansion (the paper's recursion).
+	for _, attr := range childAttrs {
+		var next []object.OID
+		for _, oid := range frontier {
+			rel, err := d.cat.ByID(oid.Rel())
+			if err != nil {
+				return nil, err
+			}
+			rw := &Relation{db: d, rel: rel, schema: rel.Schema, childAttrs: map[string]bool{attr: true}}
+			res, err := rw.Resolve(oid.Key(), attr)
+			if err != nil {
+				return nil, err
+			}
+			if res.OIDs == nil {
+				return nil, fmt.Errorf("corep: level %q of a multi-dot path must use the OID representation", attr)
+			}
+			next = append(next, res.OIDs...)
+		}
+		frontier = next
+	}
+	out := make([]Value, 0, len(frontier))
+	for _, oid := range frontier {
+		row, err := d.Fetch(oid)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := d.cat.ByID(oid.Rel())
+		if err != nil {
+			return nil, err
+		}
+		i := rel.Schema.Index(targetAttr)
+		if i < 0 {
+			return nil, fmt.Errorf("corep: %s has no attribute %q", rel.Name, targetAttr)
+		}
+		out = append(out, row[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package corep
+
+import (
+	"fmt"
+
+	"corep/internal/object"
+	"corep/internal/pql"
+)
+
+// This file covers the remaining unshaded cell of Figure 1: procedural
+// primary representation with cached OIDs (§2.3: "If the primary
+// representation is procedural, we can cache the OID's or the values of
+// subobjects"). Caching identities is cheaper to store and to maintain
+// than caching values, but answering a query still has to fetch each
+// subobject — precisely the trade-off between the two cached
+// representations.
+
+// CacheMode selects what RetrievePathCached stores for procedural
+// children.
+type CacheMode uint8
+
+// Cache modes for procedural children. (OID children always cache
+// values; caching their identities would be vacuous, the shaded cell of
+// Figure 1.)
+const (
+	// CacheValues stores the materialized subobject values (default).
+	CacheValues CacheMode = iota
+	// CacheOIDs stores only the subobject identities; retrieval fetches
+	// the current values, so updates to members never need to invalidate,
+	// only membership changes do (the relation-level lock covers those).
+	CacheOIDs
+)
+
+// SetCacheMode chooses the cached representation for procedural
+// children. It applies to subsequent RetrievePathCached calls; existing
+// entries are cleared so the two modes never mix under one key.
+func (d *Database) SetCacheMode(m CacheMode) error {
+	if d.cache == nil {
+		return fmt.Errorf("corep: enable the cache before choosing a mode")
+	}
+	if m != CacheValues && m != CacheOIDs {
+		return fmt.Errorf("corep: unknown cache mode %d", m)
+	}
+	if d.cacheMode != m {
+		if err := d.cache.Clear(); err != nil {
+			return err
+		}
+		d.cacheMode = m
+	}
+	return nil
+}
+
+// resolveProcCachedOIDs is the CacheOIDs variant of the procedural
+// branch of resolveCached: the stored query's *source identities* are
+// cached; values are fetched fresh on every retrieval.
+func (r *Relation) resolveProcCachedOIDs(src string) (*Resolved, error) {
+	q, err := pql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	keyUnit := procCacheKey("oids:" + src)
+	if v, ok, err := r.db.cache.Lookup(keyUnit); err != nil {
+		return nil, err
+	} else if ok {
+		oids, err := object.DecodeOIDs(v)
+		if err != nil {
+			return nil, err
+		}
+		return &Resolved{Representation: object.Procedural.String(), OIDs: oids}, nil
+	}
+	res, err := pql.Execute(r.db.cat, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Sources) != len(res.Tuples) || len(res.Tuples) == 0 {
+		// Join results carry no usable identities; fall back to the
+		// materialized rows, uncached.
+		return &Resolved{
+			Representation: object.Procedural.String(),
+			Rows:           res.Tuples,
+			Schema:         res.Schema.Names(),
+		}, nil
+	}
+	oids := make([]object.OID, len(res.Sources))
+	for i, s := range res.Sources {
+		oids[i] = object.NewOID(s.RelID, s.Key)
+	}
+	// Identities only change when the qualifying set changes, so the
+	// entry needs just the relation-level locks — member value updates
+	// leave it valid. That is the maintenance advantage of cached OIDs.
+	var locks []object.OID
+	for _, relName := range q.Relations() {
+		if rel, rerr := r.db.cat.Get(relName); rerr == nil {
+			locks = append(locks, relLockOID(rel.ID))
+		}
+	}
+	if err := r.db.cache.InsertWithLocks(keyUnit, locks, object.EncodeOIDs(oids)); err != nil {
+		return nil, err
+	}
+	return &Resolved{Representation: object.Procedural.String(), OIDs: oids}, nil
+}

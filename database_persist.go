@@ -1,0 +1,177 @@
+package corep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"corep/internal/btree"
+	"corep/internal/buffer"
+	"corep/internal/catalog"
+	"corep/internal/disk"
+	"corep/internal/tuple"
+)
+
+// File-backed persistence for the object API: the page file holds every
+// relation's pages; a sidecar JSON file holds the out-of-page metadata
+// (schemas, roots, counters). Checkpoint writes both; OpenDatabaseFile
+// reopens them. The cache is derived data and is not persisted —
+// re-enable it after reopening and it warms up again.
+//
+// Durability model: checkpoint consistency, not crash consistency.
+// Close/Checkpoint leave the file and sidecar mutually consistent; a
+// process that dies between checkpoints may leave pages newer than the
+// metadata describes (there is no write-ahead log — recovery was not
+// part of the paper's scope). Treat the last successful Checkpoint as
+// the durable state.
+
+// metaVersion identifies the sidecar format.
+const metaVersion = 1
+
+type fieldMeta struct {
+	Name  string
+	Kind  uint8
+	Width int
+	Child bool
+}
+
+type relMeta struct {
+	Name   string
+	ID     uint16
+	Fields []fieldMeta
+	BTree  btree.State
+}
+
+type dbMeta struct {
+	Version   int
+	Relations []relMeta
+}
+
+// OpenDatabaseFile opens (creating if needed) a file-backed database at
+// path. The sidecar metadata lives at path + ".meta". Call Checkpoint
+// to persist and Close when done.
+func OpenDatabaseFile(path string, bufferPages int) (*Database, error) {
+	if bufferPages <= 0 {
+		bufferPages = buffer.DefaultPoolSize
+	}
+	fd, err := disk.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pool := buffer.New(fd, bufferPages)
+	d := &Database{
+		dsk:  fd,
+		pool: pool,
+		cat:  catalog.New(pool),
+		file: fd,
+		meta: path + ".meta",
+		rels: map[string]*Relation{},
+	}
+
+	raw, err := os.ReadFile(d.meta)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return d, nil // fresh database
+	case err != nil:
+		fd.Close()
+		return nil, err
+	}
+	var m dbMeta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		fd.Close()
+		return nil, fmt.Errorf("corep: corrupt metadata %s: %w", d.meta, err)
+	}
+	if m.Version != metaVersion {
+		fd.Close()
+		return nil, fmt.Errorf("corep: metadata version %d (want %d)", m.Version, metaVersion)
+	}
+	for _, rm := range m.Relations {
+		fields := make([]tuple.Field, len(rm.Fields))
+		childAttrs := map[string]bool{}
+		for i, f := range rm.Fields {
+			fields[i] = tuple.Field{Name: f.Name, Kind: tuple.Kind(f.Kind), Width: f.Width}
+			if f.Child {
+				childAttrs[f.Name] = true
+			}
+		}
+		schema := tuple.NewSchema(fields...)
+		crel := &catalog.Relation{
+			Name:   rm.Name,
+			ID:     rm.ID,
+			Kind:   catalog.KindBTree,
+			Schema: schema,
+			Tree:   btree.Open(pool, rm.BTree),
+		}
+		if err := d.cat.Restore(crel); err != nil {
+			fd.Close()
+			return nil, err
+		}
+		d.rels[rm.Name] = &Relation{db: d, rel: crel, schema: schema, childAttrs: childAttrs}
+	}
+	return d, nil
+}
+
+// Relation returns the handle of an existing relation — the way to get
+// handles back after reopening a file-backed database.
+func (d *Database) Relation(name string) (*Relation, error) {
+	if r, ok := d.rels[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("corep: no relation %q", name)
+}
+
+// Relations lists the database's relation names.
+func (d *Database) Relations() []string {
+	out := make([]string, 0, len(d.rels))
+	for n := range d.rels {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Checkpoint flushes every dirty page and writes the metadata sidecar.
+// Only meaningful for file-backed databases.
+func (d *Database) Checkpoint() error {
+	if d.file == nil {
+		return errors.New("corep: Checkpoint on an in-memory database")
+	}
+	if err := d.pool.FlushAll(); err != nil {
+		return err
+	}
+	m := dbMeta{Version: metaVersion}
+	for name, r := range d.rels {
+		rm := relMeta{Name: name, ID: r.rel.ID, BTree: r.rel.Tree.State()}
+		for _, f := range r.schema.Fields {
+			rm.Fields = append(rm.Fields, fieldMeta{
+				Name: f.Name, Kind: uint8(f.Kind), Width: f.Width, Child: r.childAttrs[f.Name],
+			})
+		}
+		m.Relations = append(m.Relations, rm)
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := d.meta + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, d.meta); err != nil {
+		return err
+	}
+	return d.file.Sync()
+}
+
+// Close checkpoints and closes a file-backed database (no-op pool drop
+// for in-memory databases).
+func (d *Database) Close() error {
+	if d.file == nil {
+		return nil
+	}
+	if err := d.Checkpoint(); err != nil {
+		d.file.Close()
+		return err
+	}
+	return d.file.Close()
+}

@@ -1,0 +1,26 @@
+// Figures: regenerate one of the paper's figures through the public API
+// and render it as a table plus an ASCII log-log chart — Figure 3 by
+// default (DFS vs BFS vs BFSNODUP over NumTop).
+//
+//	go run ./examples/figures            # fig3, quick scale
+//	go run ./examples/figures fig7       # any experiment name
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"corep"
+)
+
+func main() {
+	name := "fig3"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	fmt.Printf("regenerating %s at quick scale (paper scale: cmd/corepbench)...\n\n", name)
+	if err := corep.RenderExperiment(os.Stdout, name, true, true); err != nil {
+		log.Fatal(err)
+	}
+}

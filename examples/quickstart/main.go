@@ -1,0 +1,58 @@
+// Quickstart: build one of the paper's experiment databases and compare
+// the query-processing strategies on the same retrieve.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"corep"
+)
+
+func main() {
+	// A small instance of the paper's database (§4): parents referencing
+	// units of 5 subobjects, each unit shared by UseFactor=5 parents.
+	// Build the cache and ClusterRel so every strategy can run.
+	w, err := corep.NewWorkload(corep.WorkloadConfig{
+		NumParents: 2000,
+		UseFactor:  5,
+		Clustered:  true,
+		CacheUnits: 200,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's query shape: names of the members of a range of groups —
+	//   retrieve (ParentRel.children.ret1) where 100 <= ParentRel.OID <= 149
+	q := corep.Query{Lo: 100, Hi: 149, AttrIdx: corep.Ret1}
+
+	fmt.Println("retrieve (ParentRel.children.ret1) where 100 <= OID <= 149")
+	fmt.Printf("%-10s %10s %10s %10s %8s\n", "strategy", "parIO", "childIO", "totalIO", "values")
+	for _, s := range corep.Strategies {
+		if err := w.ResetCold(); err != nil {
+			log.Fatal(err)
+		}
+		res, err := w.Retrieve(s, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10d %10d %10d %8d\n",
+			s, res.Split.Par, res.Split.Child, res.Split.Total(), len(res.Values))
+	}
+
+	// Run the same query again with DFSCACHE: the units are now cached,
+	// so the child cost collapses to one hash probe per unit.
+	if err := w.ResetCold(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := w.Retrieve(corep.DFSCache, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDFSCACHE again (warm cache): par=%d child=%d total=%d\n",
+		res.Split.Par, res.Split.Child, res.Split.Total())
+}

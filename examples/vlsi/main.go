@@ -1,0 +1,162 @@
+// VLSI: the paper's introductory complex object (§1) — cells are made
+// of paths and instances of other cells; paths are made of rectangles —
+// stored in the OID representation and navigated over multiple levels
+// ("queries involving more than two dots in the target list require
+// more levels of relationships to be explored").
+//
+//	go run ./examples/vlsi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"corep"
+)
+
+func main() {
+	db := corep.NewDatabase(100)
+	rng := rand.New(rand.NewSource(42))
+
+	// rectangle(OID, x1, y1, x2, y2, layer)
+	rect, err := db.CreateRelation("rectangle",
+		corep.IntField("OID"), corep.IntField("x1"), corep.IntField("y1"),
+		corep.IntField("x2"), corep.IntField("y2"), corep.IntField("layer"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rectOIDs []corep.OID
+	for i := int64(0); i < 600; i++ {
+		x, y := rng.Int63n(10000), rng.Int63n(10000)
+		oid, err := rect.Insert(corep.Row{
+			corep.Int(i), corep.Int(x), corep.Int(y),
+			corep.Int(x + 1 + rng.Int63n(50)), corep.Int(y + 1 + rng.Int63n(50)),
+			corep.Int(rng.Int63n(4)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rectOIDs = append(rectOIDs, oid)
+	}
+
+	// path(OID, name, width, rects) — a path is made of rectangles.
+	path, err := db.CreateRelation("path",
+		corep.IntField("OID"), corep.StrField("name"), corep.IntField("width"),
+		corep.ChildrenField("rects"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pathOIDs []corep.OID
+	for i := int64(0); i < 120; i++ {
+		members := make([]corep.OID, 5)
+		for j := range members {
+			members[j] = rectOIDs[rng.Intn(len(rectOIDs))]
+		}
+		oid, err := path.InsertWith(
+			corep.Row{corep.Int(i), corep.Str(fmt.Sprintf("metal%d", i)), corep.Int(1 + rng.Int63n(8)), corep.Value{}},
+			map[string]corep.Children{"rects": corep.OIDChildren(members...)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pathOIDs = append(pathOIDs, oid)
+	}
+
+	// cell(OID, name, paths, instances) — cells contain paths and
+	// instances of other cells (a DAG, so subobjects are shared).
+	cell, err := db.CreateRelation("cell",
+		corep.IntField("OID"), corep.StrField("name"),
+		corep.ChildrenField("paths"), corep.ChildrenField("instances"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cellOIDs []corep.OID
+	for i := int64(0); i < 40; i++ {
+		ps := make([]corep.OID, 4)
+		for j := range ps {
+			ps[j] = pathOIDs[rng.Intn(len(pathOIDs))]
+		}
+		// Instances reference earlier cells only (keeps the hierarchy a DAG).
+		var insts []corep.OID
+		for j := 0; j < 2 && len(cellOIDs) > 0; j++ {
+			insts = append(insts, cellOIDs[rng.Intn(len(cellOIDs))])
+		}
+		oid, err := cell.InsertWith(
+			corep.Row{corep.Int(i), corep.Str(fmt.Sprintf("cell%02d", i)), corep.Value{}, corep.Value{}},
+			map[string]corep.Children{
+				"paths":     corep.OIDChildren(ps...),
+				"instances": corep.OIDChildren(insts...),
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cellOIDs = append(cellOIDs, oid)
+	}
+
+	// Start the query phase cold so the I/O counters reflect navigation,
+	// not loading.
+	if err := db.ResetCold(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two-dot query: retrieve (cell.paths.name) for cell 39.
+	names, err := db.RetrievePath("cell", "paths", "name", 39, 39)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("retrieve (cell.paths.name) where cell.OID = 39 →")
+	for _, n := range names {
+		fmt.Printf(" %s", n.Str)
+	}
+	fmt.Println()
+
+	// Three-dot query: retrieve (cell.paths.rects.layer) — resolve one
+	// more level by hand, the way a query processor would chain units.
+	resolved, err := cell.Resolve(39, "paths")
+	if err != nil {
+		log.Fatal(err)
+	}
+	layerArea := map[int64]int64{}
+	for _, pOID := range resolved.OIDs {
+		rr, err := path.Resolve(pOID.Key(), "rects")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, rOID := range rr.OIDs {
+			row, err := db.Fetch(rOID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// rectangle(OID, x1, y1, x2, y2, layer)
+			area := (row[3].Int - row[1].Int) * (row[4].Int - row[2].Int)
+			layerArea[row[5].Int] += area
+		}
+	}
+	fmt.Println("metal area by layer under cell39's paths (3-dot navigation):")
+	for layer := int64(0); layer < 4; layer++ {
+		fmt.Printf("  layer %d: %d\n", layer, layerArea[layer])
+	}
+
+	// Transitive closure over instances: count distinct cells reachable
+	// from the top cell — the "transitive closure queries on arbitrary
+	// networks" the paper relates its query shape to (§3).
+	seen := map[corep.OID]bool{}
+	stack := []corep.OID{cellOIDs[len(cellOIDs)-1]}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		sub, err := cell.Resolve(cur.Key(), "instances")
+		if err != nil {
+			log.Fatal(err)
+		}
+		stack = append(stack, sub.OIDs...)
+	}
+	fmt.Printf("cells in the transitive closure of cell39's instances: %d\n", len(seen))
+
+	s := db.Stats()
+	fmt.Printf("simulated I/O for the navigation: %d reads, %d writes\n", s.Reads, s.Writes)
+}

@@ -1,0 +1,3 @@
+module corep
+
+go 1.22

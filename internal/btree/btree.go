@@ -1,0 +1,699 @@
+// Package btree implements a disk-resident B+tree over the buffer pool.
+//
+// The paper structures ParentRel and ChildRel "as B-trees on OID",
+// which "facilitates the merge-join in BFS" (§4): leaves are chained, so
+// a merge join is a sequential leaf scan. ClusterRel is a B-tree on
+// cluster#, a non-unique key; the tree therefore supports duplicates by
+// qualifying every user key with an insertion sequence number.
+//
+// Entry layout (leaf):   key int64 | seq uint32 | payload bytes
+// Entry layout (inner):  key int64 | seq uint32 | child PageID uint32
+// An inner page's Aux word holds its leftmost child pointer.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"corep/internal/buffer"
+	"corep/internal/disk"
+	"corep/internal/storage"
+)
+
+const (
+	leafHdr  = 12 // key + seq
+	innerLen = 16 // key + seq + child
+)
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("btree: key not found")
+
+// Tree is a B+tree handle. Trees are not safe for concurrent mutation;
+// the paper's driver is single-threaded.
+type Tree struct {
+	pool   *buffer.Pool
+	root   disk.PageID
+	height int
+	count  int
+	leaves int
+	seq    uint32 // next duplicate-qualifier
+}
+
+// Create allocates an empty tree (a single empty leaf as root).
+func Create(pool *buffer.Pool) (*Tree, error) {
+	id, buf, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	storage.Page{Buf: buf}.Init(storage.TypeBTLeaf)
+	pool.Unpin(id, true)
+	return &Tree{pool: pool, root: id, height: 1, count: 1, leaves: 1}, nil
+}
+
+// Open re-attaches to a persisted tree from its saved state (see
+// State). The caller must pass back exactly what State returned after
+// the last checkpoint.
+func Open(pool *buffer.Pool, s State) *Tree {
+	return &Tree{pool: pool, root: s.Root, height: s.Height, count: s.Pages, leaves: s.Leaves, seq: s.Seq}
+}
+
+// State is the tree's out-of-page metadata, persisted by checkpoints.
+type State struct {
+	Root   disk.PageID
+	Height int
+	Pages  int
+	Leaves int
+	Seq    uint32
+}
+
+// State snapshots the tree for persistence.
+func (t *Tree) State() State {
+	return State{Root: t.root, Height: t.height, Pages: t.count, Leaves: t.leaves, Seq: t.seq}
+}
+
+// Root returns the root page id (persisted in the catalog). It changes
+// when the root splits; callers must re-read it after inserts.
+func (t *Tree) Root() disk.PageID { return t.root }
+
+// Height returns the tree height in levels (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// NumPages returns the number of pages the tree has allocated.
+func (t *Tree) NumPages() int { return t.count }
+
+type entryRef struct {
+	key int64
+	seq uint32
+}
+
+func leafEntryKey(rec []byte) entryRef {
+	return entryRef{
+		key: int64(binary.LittleEndian.Uint64(rec)),
+		seq: binary.LittleEndian.Uint32(rec[8:]),
+	}
+}
+
+func (a entryRef) less(b entryRef) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+// Insert adds payload under key. Duplicate keys are allowed; each
+// insertion gets a fresh sequence number, and scans return duplicates in
+// insertion order.
+func (t *Tree) Insert(key int64, payload []byte) error {
+	if leafHdr+len(payload) > disk.PageSize/2-64 {
+		return fmt.Errorf("btree: payload of %d bytes too large", len(payload))
+	}
+	seq := t.seq
+	t.seq++
+	promoted, right, err := t.insertAt(t.root, t.height, entryRef{key, seq}, payload)
+	if err != nil {
+		return err
+	}
+	if right == disk.InvalidPageID {
+		return nil
+	}
+	// Root split: build a new root with two children.
+	nid, nbuf, err := t.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	np := storage.Page{Buf: nbuf}
+	np.Init(storage.TypeBTInner)
+	np.SetAux(uint64(t.root))
+	var rec [innerLen]byte
+	binary.LittleEndian.PutUint64(rec[:], uint64(promoted.key))
+	binary.LittleEndian.PutUint32(rec[8:], promoted.seq)
+	binary.LittleEndian.PutUint32(rec[12:], uint32(right))
+	if _, err := np.Insert(rec[:]); err != nil {
+		t.pool.Unpin(nid, true)
+		return err
+	}
+	t.pool.Unpin(nid, true)
+	t.root = nid
+	t.height++
+	t.count++
+	return nil
+}
+
+// insertAt descends into page id at the given level (level 1 == leaf)
+// and inserts. On split it returns the promoted separator and the new
+// right sibling.
+func (t *Tree) insertAt(id disk.PageID, level int, ref entryRef, payload []byte) (entryRef, disk.PageID, error) {
+	buf, err := t.pool.Pin(id)
+	if err != nil {
+		return entryRef{}, disk.InvalidPageID, err
+	}
+	pg := storage.Page{Buf: buf}
+
+	if level == 1 { // leaf
+		rec := make([]byte, leafHdr+len(payload))
+		binary.LittleEndian.PutUint64(rec, uint64(ref.key))
+		binary.LittleEndian.PutUint32(rec[8:], ref.seq)
+		copy(rec[leafHdr:], payload)
+		pos := t.lowerBound(pg, ref)
+		if err := pg.InsertAt(pos, rec); err == nil {
+			t.pool.Unpin(id, true)
+			return entryRef{}, disk.InvalidPageID, nil
+		} else if !errors.Is(err, storage.ErrPageFull) {
+			t.pool.Unpin(id, false)
+			return entryRef{}, disk.InvalidPageID, err
+		}
+		sep, right, err := t.splitLeaf(id, pg, pos, rec)
+		t.pool.Unpin(id, true)
+		return sep, right, err
+	}
+
+	// Inner node: find child to descend into.
+	childPos, child := t.childFor(pg, ref)
+	t.pool.Unpin(id, false)
+	sep, right, err := t.insertAt(child, level-1, ref, payload)
+	if err != nil || right == disk.InvalidPageID {
+		return entryRef{}, disk.InvalidPageID, err
+	}
+	// Insert (sep, right) into this inner node after childPos.
+	buf, err = t.pool.Pin(id)
+	if err != nil {
+		return entryRef{}, disk.InvalidPageID, err
+	}
+	pg = storage.Page{Buf: buf}
+	var rec [innerLen]byte
+	binary.LittleEndian.PutUint64(rec[:], uint64(sep.key))
+	binary.LittleEndian.PutUint32(rec[8:], sep.seq)
+	binary.LittleEndian.PutUint32(rec[12:], uint32(right))
+	if err := pg.InsertAt(childPos, rec[:]); err == nil {
+		t.pool.Unpin(id, true)
+		return entryRef{}, disk.InvalidPageID, nil
+	} else if !errors.Is(err, storage.ErrPageFull) {
+		t.pool.Unpin(id, false)
+		return entryRef{}, disk.InvalidPageID, err
+	}
+	psep, pright, err := t.splitInner(pg, childPos, rec[:])
+	t.pool.Unpin(id, true)
+	return psep, pright, err
+}
+
+// lowerBound returns the first slot in a leaf whose entry is ≥ ref.
+func (t *Tree) lowerBound(pg storage.Page, ref entryRef) int {
+	lo, hi := 0, pg.NumSlots()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		rec, err := pg.Record(mid)
+		if err != nil {
+			panic(fmt.Sprintf("btree: corrupt leaf: %v", err))
+		}
+		if leafEntryKey(rec).less(ref) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childFor returns, for an inner page, the separator slot index at which
+// a new right-sibling separator should be inserted, and the child page
+// to descend into for ref.
+func (t *Tree) childFor(pg storage.Page, ref entryRef) (int, disk.PageID) {
+	// Separators s_0..s_{n-1}; child i covers [s_{i-1}, s_i). Leftmost
+	// child (Aux) covers keys < s_0.
+	lo, hi := 0, pg.NumSlots()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		rec, err := pg.Record(mid)
+		if err != nil {
+			panic(fmt.Sprintf("btree: corrupt inner: %v", err))
+		}
+		sep := entryRef{int64(binary.LittleEndian.Uint64(rec)), binary.LittleEndian.Uint32(rec[8:])}
+		if !ref.less(sep) { // ref >= sep: go right of this separator
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0, disk.PageID(pg.Aux())
+	}
+	rec, err := pg.Record(lo - 1)
+	if err != nil {
+		panic(fmt.Sprintf("btree: corrupt inner: %v", err))
+	}
+	return lo, disk.PageID(binary.LittleEndian.Uint32(rec[12:]))
+}
+
+// splitLeaf splits a full leaf, inserting rec at logical position pos in
+// the combined order. Returns the separator (first entry of the right
+// page) and the right page id. The left page (pg) is already pinned by
+// the caller and remains pinned.
+func (t *Tree) splitLeaf(id disk.PageID, pg storage.Page, pos int, rec []byte) (entryRef, disk.PageID, error) {
+	n := pg.NumSlots()
+	all := make([][]byte, 0, n+1)
+	for i := 0; i < n; i++ {
+		r, err := pg.Record(i)
+		if err != nil {
+			return entryRef{}, disk.InvalidPageID, err
+		}
+		all = append(all, append([]byte(nil), r...))
+	}
+	all = append(all, nil)
+	copy(all[pos+1:], all[pos:])
+	all[pos] = append([]byte(nil), rec...)
+
+	oldNext := pg.Next()
+	oldPrev := pg.Prev()
+	half := len(all) / 2
+	if pos == n && oldNext == disk.InvalidPageID {
+		// Rightmost-leaf append: split high so bulk loads in key order
+		// leave packed leaves (matching the paper's tuple densities of
+		// ~10 ParentRel / ~20 ChildRel tuples per 2 KB page).
+		half = n
+	}
+	rid, rbuf, err := t.pool.NewPage()
+	if err != nil {
+		return entryRef{}, disk.InvalidPageID, err
+	}
+	rp := storage.Page{Buf: rbuf}
+	rp.Init(storage.TypeBTLeaf)
+	// Rebuild left page with the first half.
+	pg.Init(storage.TypeBTLeaf)
+	pg.SetNext(rid)
+	pg.SetPrev(oldPrev)
+	rp.SetPrev(id)
+	rp.SetNext(oldNext)
+	for _, r := range all[:half] {
+		if _, err := pg.Insert(r); err != nil {
+			t.pool.Unpin(rid, true)
+			return entryRef{}, disk.InvalidPageID, fmt.Errorf("btree: left rebuild: %w", err)
+		}
+	}
+	for _, r := range all[half:] {
+		if _, err := rp.Insert(r); err != nil {
+			t.pool.Unpin(rid, true)
+			return entryRef{}, disk.InvalidPageID, fmt.Errorf("btree: right rebuild: %w", err)
+		}
+	}
+	sep := leafEntryKey(all[half])
+	t.pool.Unpin(rid, true)
+	// Fix the old next page's Prev pointer.
+	if oldNext != disk.InvalidPageID {
+		nb, err := t.pool.Pin(oldNext)
+		if err != nil {
+			return entryRef{}, disk.InvalidPageID, err
+		}
+		storage.Page{Buf: nb}.SetPrev(rid)
+		t.pool.Unpin(oldNext, true)
+	}
+	t.count++
+	t.leaves++
+	return sep, rid, nil
+}
+
+// splitInner splits a full inner page, inserting rec at slot pos.
+// Returns the promoted separator and new right page. pg stays pinned.
+func (t *Tree) splitInner(pg storage.Page, pos int, rec []byte) (entryRef, disk.PageID, error) {
+	n := pg.NumSlots()
+	all := make([][]byte, 0, n+1)
+	for i := 0; i < n; i++ {
+		r, err := pg.Record(i)
+		if err != nil {
+			return entryRef{}, disk.InvalidPageID, err
+		}
+		all = append(all, append([]byte(nil), r...))
+	}
+	all = append(all, nil)
+	copy(all[pos+1:], all[pos:])
+	all[pos] = append([]byte(nil), rec...)
+
+	mid := len(all) / 2
+	promoted := all[mid]
+	sep := entryRef{int64(binary.LittleEndian.Uint64(promoted)), binary.LittleEndian.Uint32(promoted[8:])}
+	promotedChild := disk.PageID(binary.LittleEndian.Uint32(promoted[12:]))
+
+	rid, rbuf, err := t.pool.NewPage()
+	if err != nil {
+		return entryRef{}, disk.InvalidPageID, err
+	}
+	rp := storage.Page{Buf: rbuf}
+	rp.Init(storage.TypeBTInner)
+	rp.SetAux(uint64(promotedChild))
+	leftAux := pg.Aux()
+	pg.Init(storage.TypeBTInner)
+	pg.SetAux(leftAux)
+	for _, r := range all[:mid] {
+		if _, err := pg.Insert(r); err != nil {
+			t.pool.Unpin(rid, true)
+			return entryRef{}, disk.InvalidPageID, fmt.Errorf("btree: inner left rebuild: %w", err)
+		}
+	}
+	for _, r := range all[mid+1:] {
+		if _, err := rp.Insert(r); err != nil {
+			t.pool.Unpin(rid, true)
+			return entryRef{}, disk.InvalidPageID, fmt.Errorf("btree: inner right rebuild: %w", err)
+		}
+	}
+	t.pool.Unpin(rid, true)
+	t.count++
+	return sep, rid, nil
+}
+
+// Get returns the payload of the first entry with exactly key.
+func (t *Tree) Get(key int64) ([]byte, error) {
+	it, err := t.SeekGE(key)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	k, payload, ok, err := it.Next()
+	if err != nil {
+		return nil, err
+	}
+	if !ok || k != key {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
+	return payload, nil
+}
+
+// Update replaces the payload of the first entry with exactly key. The
+// paper's updates modify tuples in place; same-size or smaller payloads
+// stay in place, larger ones re-pack within the page.
+func (t *Tree) Update(key int64, payload []byte) error {
+	id, err := t.descendToLeaf(entryRef{key, 0})
+	if err != nil {
+		return err
+	}
+	for id != disk.InvalidPageID {
+		buf, err := t.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		pg := storage.Page{Buf: buf}
+		pos := t.lowerBound(pg, entryRef{key, 0})
+		if pos < pg.NumSlots() {
+			rec, err := pg.Record(pos)
+			if err != nil {
+				t.pool.Unpin(id, false)
+				return err
+			}
+			e := leafEntryKey(rec)
+			if e.key != key {
+				t.pool.Unpin(id, false)
+				return fmt.Errorf("%w: %d", ErrNotFound, key)
+			}
+			nrec := make([]byte, leafHdr+len(payload))
+			copy(nrec, rec[:leafHdr])
+			copy(nrec[leafHdr:], payload)
+			err = pg.Update(pos, nrec)
+			if errors.Is(err, storage.ErrPageFull) {
+				pg.Compact()
+				pos = t.lowerBound(pg, entryRef{key, 0}) // compaction may renumber slots
+				err = pg.Update(pos, nrec)
+			}
+			if errors.Is(err, storage.ErrPageFull) {
+				// The grown record does not fit even after compaction:
+				// fall back to delete + reinsert, which goes through the
+				// normal split path. The entry gets a fresh sequence
+				// number, so among duplicates of the same key it moves to
+				// the back; the paper's relations have unique keys.
+				if rerr := pg.RemoveAt(pos); rerr != nil {
+					t.pool.Unpin(id, true)
+					return rerr
+				}
+				t.pool.Unpin(id, true)
+				return t.Insert(key, payload)
+			}
+			t.pool.Unpin(id, true)
+			return err
+		}
+		next := pg.Next()
+		t.pool.Unpin(id, false)
+		id = next
+	}
+	return fmt.Errorf("%w: %d", ErrNotFound, key)
+}
+
+// descendToLeaf returns the leaf page that would contain ref.
+func (t *Tree) descendToLeaf(ref entryRef) (disk.PageID, error) {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		buf, err := t.pool.Pin(id)
+		if err != nil {
+			return disk.InvalidPageID, err
+		}
+		pg := storage.Page{Buf: buf}
+		_, child := t.childFor(pg, ref)
+		t.pool.Unpin(id, false)
+		id = child
+	}
+	return id, nil
+}
+
+// Iterator walks leaf entries in key order starting from a Seek point.
+type Iterator struct {
+	t    *Tree
+	page disk.PageID
+	slot int
+	done bool
+}
+
+// SeekGE positions an iterator at the first entry with key ≥ key.
+func (t *Tree) SeekGE(key int64) (*Iterator, error) {
+	id, err := t.descendToLeaf(entryRef{key, 0})
+	if err != nil {
+		return nil, err
+	}
+	it := &Iterator{t: t, page: id}
+	// Position within the leaf.
+	buf, err := t.pool.Pin(id)
+	if err != nil {
+		return nil, err
+	}
+	pg := storage.Page{Buf: buf}
+	it.slot = t.lowerBound(pg, entryRef{key, 0})
+	t.pool.Unpin(id, false)
+	return it, nil
+}
+
+// SeekFirst positions an iterator at the smallest entry.
+func (t *Tree) SeekFirst() (*Iterator, error) {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		buf, err := t.pool.Pin(id)
+		if err != nil {
+			return nil, err
+		}
+		child := disk.PageID(storage.Page{Buf: buf}.Aux())
+		t.pool.Unpin(id, false)
+		id = child
+	}
+	return &Iterator{t: t, page: id}, nil
+}
+
+// Next returns the next entry's key and payload. ok=false signals
+// exhaustion. The payload is a copy.
+func (it *Iterator) Next() (key int64, payload []byte, ok bool, err error) {
+	for !it.done {
+		buf, err := it.t.pool.Pin(it.page)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		pg := storage.Page{Buf: buf}
+		if it.slot < pg.NumSlots() {
+			rec, rerr := pg.Record(it.slot)
+			if rerr != nil {
+				it.t.pool.Unpin(it.page, false)
+				return 0, nil, false, rerr
+			}
+			k := int64(binary.LittleEndian.Uint64(rec))
+			p := append([]byte(nil), rec[leafHdr:]...)
+			it.slot++
+			it.t.pool.Unpin(it.page, false)
+			return k, p, true, nil
+		}
+		next := pg.Next()
+		it.t.pool.Unpin(it.page, false)
+		if next == disk.InvalidPageID {
+			it.done = true
+			break
+		}
+		it.page = next
+		it.slot = 0
+	}
+	return 0, nil, false, nil
+}
+
+// Close releases the iterator (no pins are held between Next calls, so
+// this is a no-op kept for API symmetry).
+func (it *Iterator) Close() {}
+
+// ScanLeavesRID calls fn for every entry in key order with its record id
+// (leaf page + slot). ISAM indexes over a bulk-loaded tree are built from
+// this scan; the RIDs stay valid as long as no further inserts occur and
+// updates keep record sizes unchanged — exactly the paper's static
+// ClusterRel environment.
+func (t *Tree) ScanLeavesRID(fn func(rid storage.RID, key int64, payload []byte) (bool, error)) error {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		buf, err := t.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		child := disk.PageID(storage.Page{Buf: buf}.Aux())
+		t.pool.Unpin(id, false)
+		id = child
+	}
+	for id != disk.InvalidPageID {
+		buf, err := t.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		pg := storage.Page{Buf: buf}
+		n := pg.NumSlots()
+		type ent struct {
+			slot int
+			rec  []byte
+		}
+		ents := make([]ent, 0, n)
+		for i := 0; i < n; i++ {
+			rec, rerr := pg.Record(i)
+			if rerr != nil {
+				t.pool.Unpin(id, false)
+				return rerr
+			}
+			ents = append(ents, ent{i, append([]byte(nil), rec...)})
+		}
+		next := pg.Next()
+		t.pool.Unpin(id, false)
+		for _, e := range ents {
+			key := int64(binary.LittleEndian.Uint64(e.rec))
+			cont, err := fn(storage.RID{Page: id, Slot: uint16(e.slot)}, key, e.rec[leafHdr:])
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+		id = next
+	}
+	return nil
+}
+
+// GetAt fetches the payload stored at a leaf RID previously obtained
+// from ScanLeavesRID. The returned slice is a copy.
+func (t *Tree) GetAt(rid storage.RID) (key int64, payload []byte, err error) {
+	buf, err := t.pool.Pin(rid.Page)
+	if err != nil {
+		return 0, nil, err
+	}
+	pg := storage.Page{Buf: buf}
+	rec, err := pg.Record(int(rid.Slot))
+	if err != nil {
+		t.pool.Unpin(rid.Page, false)
+		return 0, nil, err
+	}
+	key = int64(binary.LittleEndian.Uint64(rec))
+	payload = append([]byte(nil), rec[leafHdr:]...)
+	t.pool.Unpin(rid.Page, false)
+	return key, payload, nil
+}
+
+// UpdateAt replaces the payload at a leaf RID in place. The new payload
+// must fit the page (same-size updates always do — the paper's updates
+// modify tuples in place).
+func (t *Tree) UpdateAt(rid storage.RID, payload []byte) error {
+	buf, err := t.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	pg := storage.Page{Buf: buf}
+	rec, err := pg.Record(int(rid.Slot))
+	if err != nil {
+		t.pool.Unpin(rid.Page, false)
+		return err
+	}
+	nrec := make([]byte, leafHdr+len(payload))
+	copy(nrec, rec[:leafHdr])
+	copy(nrec[leafHdr:], payload)
+	err = pg.Update(int(rid.Slot), nrec)
+	t.pool.Unpin(rid.Page, err == nil)
+	return err
+}
+
+// LeafPages returns the number of leaf pages — the sequential-scan cost
+// the BFS optimizer weighs against per-tuple probes (§3.1 [2]).
+func (t *Tree) LeafPages() int { return t.leaves }
+
+// Range calls fn for each entry with lo ≤ key ≤ hi in key order.
+func (t *Tree) Range(lo, hi int64, fn func(key int64, payload []byte) (bool, error)) error {
+	it, err := t.SeekGE(lo)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for {
+		k, p, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok || k > hi {
+			return nil
+		}
+		cont, err := fn(k, p)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+}
+
+// Len counts entries with a full scan (testing/verification aid).
+func (t *Tree) Len() (int, error) {
+	it, err := t.SeekFirst()
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	n := 0
+	for {
+		_, _, ok, err := it.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// CheckInvariants verifies structural invariants: keys nondecreasing
+// across a full scan, and leaf chain consistency. Tests call this after
+// randomized workloads.
+func (t *Tree) CheckInvariants() error {
+	it, err := t.SeekFirst()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	var prev int64
+	first := true
+	for {
+		k, _, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if !first && k < prev {
+			return fmt.Errorf("btree: keys out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+	}
+}

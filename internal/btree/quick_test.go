@@ -1,0 +1,141 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"corep/internal/buffer"
+	"corep/internal/disk"
+)
+
+// TestQuickSortedMultimap drives the tree with generated key sets and
+// verifies it behaves as a sorted multimap: every inserted pair is
+// retrievable, scans are ordered and complete, and invariants hold.
+func TestQuickSortedMultimap(t *testing.T) {
+	f := func(seed int64, nOps uint16) bool {
+		n := int(nOps%800) + 1
+		rng := rand.New(rand.NewSource(seed))
+		pool := buffer.New(disk.NewSim(), 32)
+		tr, err := Create(pool)
+		if err != nil {
+			return false
+		}
+		counts := map[int64]int{}
+		for i := 0; i < n; i++ {
+			k := int64(rng.Intn(200)) - 100 // negative keys included
+			if err := tr.Insert(k, []byte{byte(i)}); err != nil {
+				return false
+			}
+			counts[k]++
+		}
+		// Full scan: sorted, complete, multiplicities preserved.
+		var keys []int64
+		it, err := tr.SeekFirst()
+		if err != nil {
+			return false
+		}
+		got := map[int64]int{}
+		for {
+			k, _, ok, err := it.Next()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			keys = append(keys, k)
+			got[k]++
+		}
+		if len(keys) != n {
+			return false
+		}
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			return false
+		}
+		for k, c := range counts {
+			if got[k] != c {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil && pool.PinnedCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRangeEquivalence checks Range(lo,hi) against a model filter
+// for generated bounds.
+func TestQuickRangeEquivalence(t *testing.T) {
+	pool := buffer.New(disk.NewSim(), 32)
+	tr, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var all []int64
+	for i := 0; i < 500; i++ {
+		k := int64(rng.Intn(1000))
+		all = append(all, k)
+		if err := tr.Insert(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	f := func(a, b int16) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for _, k := range all {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		got := 0
+		err := tr.Range(lo, hi, func(k int64, _ []byte) (bool, error) {
+			if k < lo || k > hi {
+				return false, nil
+			}
+			got++
+			return true, nil
+		})
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPayloadFidelity round-trips generated payloads.
+func TestQuickPayloadFidelity(t *testing.T) {
+	pool := buffer.New(disk.NewSim(), 32)
+	tr, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := int64(0)
+	f := func(payload []byte) bool {
+		if len(payload) > 800 {
+			payload = payload[:800]
+		}
+		k := next
+		next++
+		if err := tr.Insert(k, payload); err != nil {
+			return false
+		}
+		got, err := tr.Get(k)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

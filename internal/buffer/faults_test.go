@@ -1,0 +1,125 @@
+package buffer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"corep/internal/disk"
+)
+
+func TestPinPropagatesReadFault(t *testing.T) {
+	d := disk.NewSim()
+	p := New(d, 4)
+	id, _ := d.Alloc()
+	d.SetFault(func(op string, pid disk.PageID) error {
+		if op == "read" {
+			return disk.ErrFaulted
+		}
+		return nil
+	})
+	if _, err := p.Pin(id); !errors.Is(err, disk.ErrFaulted) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed pin must not leave a frame pinned or cached.
+	if p.PinnedCount() != 0 {
+		t.Fatal("failed pin left a pinned frame")
+	}
+	d.SetFault(nil)
+	if _, err := p.Pin(id); err != nil {
+		t.Fatalf("pin after fault cleared: %v", err)
+	}
+	p.Unpin(id, false)
+}
+
+func TestEvictionWriteFaultSurfaces(t *testing.T) {
+	d := disk.NewSim()
+	p := New(d, 1)
+	a, _ := d.Alloc()
+	b, _ := d.Alloc()
+	buf, err := p.Pin(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 1
+	p.Unpin(a, true)
+	d.SetFault(func(op string, pid disk.PageID) error {
+		if op == "write" && pid == a {
+			return disk.ErrFaulted
+		}
+		return nil
+	})
+	// Pinning b must evict dirty a, whose write-back fails.
+	if _, err := p.Pin(b); !errors.Is(err, disk.ErrFaulted) {
+		t.Fatalf("err = %v", err)
+	}
+	d.SetFault(nil)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, disk.PageSize)
+	if err := d.Read(a, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("dirty data lost across write fault")
+	}
+}
+
+func TestAllocFaultOnNewPage(t *testing.T) {
+	d := disk.NewSim()
+	p := New(d, 2)
+	d.SetFault(func(op string, _ disk.PageID) error {
+		if op == "alloc" {
+			return disk.ErrFaulted
+		}
+		return nil
+	})
+	if _, _, err := p.NewPage(); !errors.Is(err, disk.ErrFaulted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentPins(t *testing.T) {
+	d := disk.NewSim()
+	p := New(d, 8)
+	ids := make([]disk.PageID, 32)
+	buf := make([]byte, disk.PageSize)
+	for i := range ids {
+		ids[i], _ = d.Alloc()
+		buf[0] = byte(i)
+		if err := d.Write(ids[i], buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 200; round++ {
+				i := (g*7 + round) % len(ids)
+				b, err := p.Pin(ids[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if b[0] != byte(i) {
+					errs <- errors.New("content mismatch under concurrency")
+					p.Unpin(ids[i], false)
+					return
+				}
+				p.Unpin(ids[i], false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p.PinnedCount() != 0 {
+		t.Fatal("pins leaked under concurrency")
+	}
+}

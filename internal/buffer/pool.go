@@ -1,0 +1,318 @@
+// Package buffer implements the buffer pool between the access methods
+// and the simulated disk.
+//
+// The pool mirrors the paper's experimental setup: "A main memory buffer
+// size of 100 INGRES data pages was used throughout our study" (§4). A
+// page access that hits the pool is free; a miss costs one disk read,
+// and evicting a dirty frame costs one disk write. Replacement is LRU.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"corep/internal/disk"
+)
+
+// DefaultPoolSize is the paper's buffer size: 100 pages.
+const DefaultPoolSize = 100
+
+// Policy selects the replacement policy. The paper does not name
+// INGRES's policy; LRU is the default and the abl-policy bench shows
+// the sensitivity.
+type Policy uint8
+
+// Replacement policies.
+const (
+	LRU    Policy = iota // evict the least recently used unpinned frame
+	Clock                // second-chance FIFO (reference bits)
+	Random               // evict a uniformly random unpinned frame
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case Clock:
+		return "clock"
+	case Random:
+		return "random"
+	}
+	return "policy?"
+}
+
+// Stats counts buffer-pool events. Disk-level reads/writes are tracked
+// by the disk manager; these counters describe pool behaviour.
+type Stats struct {
+	Hits    int64 // page requests served from the pool
+	Misses  int64 // page requests that went to disk
+	Flushes int64 // dirty pages written back
+	Pins    int64 // total pin operations
+}
+
+// Sub returns the counter deltas s - o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses,
+		Flushes: s.Flushes - o.Flushes, Pins: s.Pins - o.Pins}
+}
+
+// HitRate returns hits / (hits+misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d flushes=%d hitrate=%.3f", s.Hits, s.Misses, s.Flushes, s.HitRate())
+}
+
+type frame struct {
+	id    disk.PageID
+	buf   []byte
+	pins  int
+	dirty bool
+	ref   bool          // Clock reference bit, set on every pin
+	lru   *list.Element // position in the replacement list; nil while pinned
+}
+
+// Pool is a fixed-capacity LRU buffer pool. It is safe for concurrent
+// use, though the experiments are single-threaded (as was the paper's
+// driver program).
+type Pool struct {
+	mu     sync.Mutex
+	dm     disk.Manager
+	cap    int
+	policy Policy
+	rng    *rand.Rand
+	frames map[disk.PageID]*frame
+	lru    *list.List // unpinned frames, front = least recently used
+	stats  Stats
+}
+
+// New creates an LRU pool of capacity pages over dm. Capacity must be ≥ 1.
+func New(dm disk.Manager, capacity int) *Pool {
+	return NewWithPolicy(dm, capacity, LRU)
+}
+
+// NewWithPolicy creates a pool with an explicit replacement policy.
+func NewWithPolicy(dm disk.Manager, capacity int, policy Policy) *Pool {
+	if capacity < 1 {
+		panic("buffer: capacity must be >= 1")
+	}
+	return &Pool{
+		dm: dm, cap: capacity, policy: policy,
+		rng:    rand.New(rand.NewSource(int64(capacity) + int64(policy))),
+		frames: make(map[disk.PageID]*frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// PolicyName returns the replacement policy in use.
+func (p *Pool) PolicyName() Policy { return p.policy }
+
+// Capacity returns the number of frames in the pool.
+func (p *Pool) Capacity() int { return p.cap }
+
+// Disk returns the underlying disk manager.
+func (p *Pool) Disk() disk.Manager { return p.dm }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Pin fetches page id into the pool and pins it. The returned buffer is
+// the frame's backing store: it stays valid until the matching Unpin.
+// Callers that modify the buffer must pass dirty=true to Unpin.
+func (p *Pool) Pin(id disk.PageID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Pins++
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		f.ref = true
+		p.pinLocked(f)
+		return f.buf, nil
+	}
+	p.stats.Misses++
+	f, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.dm.Read(id, f.buf); err != nil {
+		p.freeFrameLocked(f)
+		return nil, err
+	}
+	f.id, f.pins, f.dirty = id, 1, false
+	p.frames[id] = f
+	return f.buf, nil
+}
+
+// NewPage allocates a fresh disk page, pins it and returns its id and
+// buffer. The frame starts dirty (it must reach disk eventually).
+func (p *Pool) NewPage() (disk.PageID, []byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Pins++
+	id, err := p.dm.Alloc()
+	if err != nil {
+		return disk.InvalidPageID, nil, err
+	}
+	f, err := p.victimLocked()
+	if err != nil {
+		return disk.InvalidPageID, nil, err
+	}
+	for i := range f.buf {
+		f.buf[i] = 0
+	}
+	f.id, f.pins, f.dirty = id, 1, true
+	p.frames[id] = f
+	return id, f.buf, nil
+}
+
+// Unpin releases one pin on page id; dirty marks the frame as modified.
+func (p *Pool) Unpin(id disk.PageID, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok || f.pins == 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", id))
+	}
+	f.dirty = f.dirty || dirty
+	f.pins--
+	if f.pins == 0 {
+		f.lru = p.lru.PushBack(f)
+	}
+}
+
+// FlushAll writes every dirty frame back to disk (pool contents are
+// kept). Used between experiment phases so that load-time dirt is not
+// charged to the measured queries.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.dm.Write(f.id, f.buf); err != nil {
+				return err
+			}
+			f.dirty = false
+			p.stats.Flushes++
+		}
+	}
+	return nil
+}
+
+// Invalidate drops every unpinned frame after flushing dirty ones,
+// leaving the pool cold. Experiments call this between query sequences.
+func (p *Pool) Invalidate() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: invalidate with pinned page %d", id)
+		}
+		if f.dirty {
+			if err := p.dm.Write(f.id, f.buf); err != nil {
+				return err
+			}
+			f.dirty = false
+			p.stats.Flushes++
+		}
+		p.lru.Remove(f.lru)
+		delete(p.frames, id)
+	}
+	return nil
+}
+
+// PinnedCount returns the number of currently pinned frames (testing aid;
+// every operator must leave this at zero when it finishes).
+func (p *Pool) PinnedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Pool) pinLocked(f *frame) {
+	if f.pins == 0 && f.lru != nil {
+		p.lru.Remove(f.lru)
+		f.lru = nil
+	}
+	f.pins++
+}
+
+// victimLocked returns a free frame, evicting the LRU unpinned frame if
+// the pool is full. The returned frame is detached from the map/LRU.
+func (p *Pool) victimLocked() (*frame, error) {
+	if len(p.frames) < p.cap {
+		return &frame{buf: make([]byte, disk.PageSize)}, nil
+	}
+	el := p.chooseVictimLocked()
+	if el == nil {
+		return nil, fmt.Errorf("buffer: all %d frames pinned", p.cap)
+	}
+	f := el.Value.(*frame)
+	// Write back before detaching: if the write fails, the dirty frame
+	// stays resident and no data is lost.
+	if f.dirty {
+		if err := p.dm.Write(f.id, f.buf); err != nil {
+			return nil, err
+		}
+		f.dirty = false
+		p.stats.Flushes++
+	}
+	p.lru.Remove(el)
+	f.lru = nil
+	delete(p.frames, f.id)
+	return f, nil
+}
+
+// chooseVictimLocked picks the element to evict per the policy; the
+// list holds only unpinned frames.
+func (p *Pool) chooseVictimLocked() *list.Element {
+	n := p.lru.Len()
+	if n == 0 {
+		return nil
+	}
+	switch p.policy {
+	case Clock:
+		// Second chance: rotate referenced frames to the back, clearing
+		// their bit; bounded by one full sweep plus one.
+		for i := 0; i <= n; i++ {
+			el := p.lru.Front()
+			f := el.Value.(*frame)
+			if !f.ref {
+				return el
+			}
+			f.ref = false
+			p.lru.MoveToBack(el)
+		}
+		return p.lru.Front()
+	case Random:
+		k := p.rng.Intn(n)
+		el := p.lru.Front()
+		for i := 0; i < k; i++ {
+			el = el.Next()
+		}
+		return el
+	default: // LRU
+		return p.lru.Front()
+	}
+}
+
+func (p *Pool) freeFrameLocked(f *frame) {
+	// The frame was never entered into the map; nothing to do — it is
+	// garbage collected. Capacity accounting is by map size.
+}

@@ -1,0 +1,270 @@
+package buffer
+
+import (
+	"testing"
+
+	"corep/internal/disk"
+)
+
+func newPool(capacity int) (*Pool, *disk.Sim) {
+	d := disk.NewSim()
+	return New(d, capacity), d
+}
+
+// mkPages allocates n pages directly on the disk, each tagged with its index.
+func mkPages(t *testing.T, d *disk.Sim, n int) []disk.PageID {
+	t.Helper()
+	ids := make([]disk.PageID, n)
+	buf := make([]byte, disk.PageSize)
+	for i := range ids {
+		id, err := d.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i)
+		if err := d.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	d.ResetStats()
+	return ids
+}
+
+func TestPinMissThenHit(t *testing.T) {
+	p, d := newPool(4)
+	ids := mkPages(t, d, 1)
+	buf, err := p.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Fatalf("content = %d", buf[0])
+	}
+	p.Unpin(ids[0], false)
+	if _, err := p.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	s := p.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if ds := d.Stats(); ds.Reads != 1 {
+		t.Fatalf("disk reads = %d, want 1", ds.Reads)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p, d := newPool(2)
+	ids := mkPages(t, d, 3)
+	for _, id := range ids[:2] {
+		if _, err := p.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id, false)
+	}
+	// Touch page 0 so page 1 is LRU.
+	if _, err := p.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	// Page 2 evicts page 1.
+	if _, err := p.Pin(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[2], false)
+	d.ResetStats()
+	// Page 0 must still be resident (no disk read).
+	if _, err := p.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	if ds := d.Stats(); ds.Reads != 0 {
+		t.Fatalf("page 0 was evicted: %d reads", ds.Reads)
+	}
+	// Page 1 must have been evicted (one disk read).
+	if _, err := p.Pin(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[1], false)
+	if ds := d.Stats(); ds.Reads != 1 {
+		t.Fatalf("reads = %d, want 1", ds.Reads)
+	}
+}
+
+func TestDirtyWriteBackOnEvict(t *testing.T) {
+	p, d := newPool(1)
+	ids := mkPages(t, d, 2)
+	buf, err := p.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[10] = 0xAB
+	p.Unpin(ids[0], true)
+	// Pinning another page evicts and must flush.
+	if _, err := p.Pin(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[1], false)
+	if s := p.Stats(); s.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", s.Flushes)
+	}
+	got := make([]byte, disk.PageSize)
+	if err := d.Read(ids[0], got); err != nil {
+		t.Fatal(err)
+	}
+	if got[10] != 0xAB {
+		t.Fatal("dirty page not written back")
+	}
+}
+
+func TestCleanEvictNoWrite(t *testing.T) {
+	p, d := newPool(1)
+	ids := mkPages(t, d, 2)
+	if _, err := p.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	if _, err := p.Pin(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[1], false)
+	if ds := d.Stats(); ds.Writes != 0 {
+		t.Fatalf("clean eviction wrote %d pages", ds.Writes)
+	}
+}
+
+func TestPinnedPagesNotEvicted(t *testing.T) {
+	p, d := newPool(2)
+	ids := mkPages(t, d, 3)
+	if _, err := p.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pin(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pin(ids[2]); err == nil {
+		t.Fatal("pin with all frames pinned should fail")
+	}
+	p.Unpin(ids[1], false)
+	if _, err := p.Pin(ids[2]); err != nil {
+		t.Fatalf("pin after release: %v", err)
+	}
+	p.Unpin(ids[0], false)
+	p.Unpin(ids[2], false)
+}
+
+func TestPinCountNesting(t *testing.T) {
+	p, d := newPool(2)
+	ids := mkPages(t, d, 1)
+	if _, err := p.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if p.PinnedCount() != 1 {
+		t.Fatalf("pinned = %d", p.PinnedCount())
+	}
+	p.Unpin(ids[0], false)
+	if p.PinnedCount() != 1 {
+		t.Fatal("page released after one of two unpins")
+	}
+	p.Unpin(ids[0], false)
+	if p.PinnedCount() != 0 {
+		t.Fatal("page still pinned")
+	}
+}
+
+func TestUnpinUnknownPanics(t *testing.T) {
+	p, _ := newPool(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bogus unpin")
+		}
+	}()
+	p.Unpin(42, false)
+}
+
+func TestNewPage(t *testing.T) {
+	p, d := newPool(2)
+	id, buf, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 0x5C
+	p.Unpin(id, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, disk.PageSize)
+	if err := d.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x5C {
+		t.Fatal("new page content lost")
+	}
+}
+
+func TestInvalidateColdStart(t *testing.T) {
+	p, d := newPool(4)
+	ids := mkPages(t, d, 2)
+	for _, id := range ids {
+		if _, err := p.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id, false)
+	}
+	if err := p.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	if _, err := p.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	if ds := d.Stats(); ds.Reads != 1 {
+		t.Fatalf("reads after invalidate = %d, want 1", ds.Reads)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	s := Stats{Hits: 3, Misses: 1}
+	if got := s.HitRate(); got != 0.75 {
+		t.Fatalf("hitrate = %v", got)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty hitrate not 0")
+	}
+}
+
+func TestManyPagesStress(t *testing.T) {
+	// A pool of 10 over 200 pages: every page readable, contents intact,
+	// despite constant eviction.
+	p, d := newPool(10)
+	ids := mkPages(t, d, 200)
+	for round := 0; round < 3; round++ {
+		for i, id := range ids {
+			buf, err := p.Pin(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if buf[0] != byte(i) {
+				t.Fatalf("page %d content = %d, want %d", i, buf[0], byte(i))
+			}
+			buf[1] = byte(round)
+			p.Unpin(id, true)
+		}
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, disk.PageSize)
+	if err := d.Read(ids[137], got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 137 || got[1] != 2 {
+		t.Fatalf("page content = %d,%d", got[0], got[1])
+	}
+}

@@ -1,0 +1,320 @@
+// Package cache implements the paper's outside value cache (§2.3, §3.2).
+//
+// Cached entries are whole units: "It is best to cache the values of the
+// subobjects of a unit together in one place, since they will often be
+// needed together." The cache lives on disk as a hash relation keyed by
+// a hash of the unit's OID list (§4), shared by every object that
+// references exactly that unit — outside caching, the variant the paper
+// restricts itself to after [JHIN88].
+//
+// Invalidation uses I-locks: "Associated with each subobject is a lock
+// called an invalidation lock for each unit that it belongs to.
+// Consequently, when a subobject is updated, we invalidate all the
+// (cached) units whose I-locks are held by the subobject" (§3.2). The
+// lock table is an in-memory directory (as is the set of cached unit
+// keys); the cached values themselves live on disk and every value
+// access or invalidation pays hash-file I/O.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"corep/internal/buffer"
+	"corep/internal/hashfile"
+	"corep/internal/object"
+)
+
+// Stats counts cache events.
+type Stats struct {
+	Hits          int64 // Lookup found the unit cached
+	Misses        int64 // Lookup did not
+	Inserts       int64 // units cached
+	Evictions     int64 // units evicted for capacity
+	Invalidations int64 // units invalidated by updates
+}
+
+// Sub returns the counter deltas s - o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses, Inserts: s.Inserts - o.Inserts,
+		Evictions: s.Evictions - o.Evictions, Invalidations: s.Invalidations - o.Invalidations,
+	}
+}
+
+// Cache is an outside value cache with bounded capacity (SizeCache,
+// "the maximum number of units that can be cached", §4 [3]).
+type Cache struct {
+	file     *hashfile.File
+	maxUnits int
+	rng      *rand.Rand
+
+	// units: hashkey → member OIDs of the cached unit (directory).
+	units map[int64]object.Unit
+	// segments: hashkey → number of hash-file entries the value spans.
+	segments map[int64]int
+	// ilocks: subobject OID → hashkeys of cached units containing it.
+	ilocks map[object.OID]map[int64]struct{}
+
+	stats Stats
+}
+
+// New creates a cache of at most maxUnits units over a fresh hash file
+// with the given bucket count.
+func New(pool *buffer.Pool, maxUnits, buckets int, seed int64) (*Cache, error) {
+	if maxUnits < 1 {
+		return nil, errors.New("cache: maxUnits must be >= 1")
+	}
+	f, err := hashfile.Create(pool, buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		file:     f,
+		maxUnits: maxUnits,
+		rng:      rand.New(rand.NewSource(seed)),
+		units:    make(map[int64]object.Unit),
+		segments: make(map[int64]int),
+		ilocks:   make(map[object.OID]map[int64]struct{}),
+	}, nil
+}
+
+// Len returns the number of cached units.
+func (c *Cache) Len() int { return len(c.units) }
+
+// Capacity returns SizeCache.
+func (c *Cache) Capacity() int { return c.maxUnits }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// IsCached reports whether the unit is cached, consulting only the
+// in-memory directory (no I/O) — SMART's breadth-first pass uses this to
+// decide which OIDs go to the temporary (§5.3).
+func (c *Cache) IsCached(u object.Unit) bool {
+	_, ok := c.units[u.HashKey()]
+	return ok
+}
+
+// maxSegment bounds one hash-file entry; larger unit values are split
+// into segments stored under derived keys, each paying its own I/O (a
+// big unit really does occupy several pages).
+const maxSegment = 1500
+
+// segKey derives the hash-file key of segment i of a unit value.
+func segKey(key int64, i int) int64 {
+	if i == 0 {
+		return key
+	}
+	h := uint64(key) * 1099511628211
+	return int64(h) ^ (int64(i) << 1) ^ 0x5bd1e995
+}
+
+// numSegments returns how many hash-file entries a value needs.
+func numSegments(valueLen int) int {
+	n := (valueLen + maxSegment - 1) / maxSegment
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Lookup fetches the cached value of u, paying one hash-file probe per
+// stored segment on hit. ok=false means a miss (no I/O is charged: the
+// directory is memory resident).
+func (c *Cache) Lookup(u object.Unit) (value []byte, ok bool, err error) {
+	key := u.HashKey()
+	segs, cached := c.segments[key]
+	if !cached {
+		c.stats.Misses++
+		return nil, false, nil
+	}
+	var out []byte
+	for i := 0; i < segs; i++ {
+		v, err := c.file.Get(segKey(key, i))
+		if err != nil {
+			return nil, false, fmt.Errorf("cache: directory/file mismatch for key %d seg %d: %w", key, i, err)
+		}
+		out = append(out, v...)
+	}
+	c.stats.Hits++
+	return out, true, nil
+}
+
+// Insert caches value for u (cache maintenance after materializing a
+// unit, §3.2). If the cache is full, a random victim is evicted first —
+// the paper bounds SizeCache but does not fix a policy; see the
+// abl-cachesize bench for sensitivity. Inserting an already-cached unit
+// refreshes its value.
+func (c *Cache) Insert(u object.Unit, value []byte) error {
+	return c.InsertWithLocks(u, u, value)
+}
+
+// InsertWithLocks caches value under key unit u while placing the
+// I-locks on locks instead of u's members. Cached procedural results use
+// this: the key derives from the stored query, but invalidation must
+// fire when any *result* tuple updates.
+func (c *Cache) InsertWithLocks(u object.Unit, locks []object.OID, value []byte) error {
+	key := u.HashKey()
+	if _, exists := c.units[key]; !exists && len(c.units) >= c.maxUnits {
+		if err := c.evictOne(); err != nil {
+			return err
+		}
+	}
+	// Replace any previous segments, then write the new ones.
+	if old, exists := c.segments[key]; exists {
+		for i := 0; i < old; i++ {
+			if err := c.file.Delete(segKey(key, i)); err != nil && !errors.Is(err, hashfile.ErrNotFound) {
+				return err
+			}
+		}
+	}
+	segs := numSegments(len(value))
+	for i := 0; i < segs; i++ {
+		lo := i * maxSegment
+		hi := lo + maxSegment
+		if hi > len(value) {
+			hi = len(value)
+		}
+		if err := c.file.Put(segKey(key, i), value[lo:hi]); err != nil {
+			return err
+		}
+	}
+	c.segments[key] = segs
+	if _, exists := c.units[key]; !exists {
+		c.units[key] = append(object.Unit(nil), locks...)
+		for _, oid := range locks {
+			locks := c.ilocks[oid]
+			if locks == nil {
+				locks = make(map[int64]struct{})
+				c.ilocks[oid] = locks
+			}
+			locks[key] = struct{}{}
+		}
+	}
+	c.stats.Inserts++
+	return nil
+}
+
+// evictOne removes one randomly chosen unit.
+func (c *Cache) evictOne() error {
+	// Map iteration order is already randomized, but seed-determinism
+	// matters for reproducible experiments: pick the n-th key by rng.
+	n := c.rng.Intn(len(c.units))
+	var victim int64
+	for k := range c.units {
+		if n == 0 {
+			victim = k
+			break
+		}
+		n--
+	}
+	c.stats.Evictions++
+	return c.drop(victim)
+}
+
+// drop removes a unit from the file, the directory and the lock table.
+func (c *Cache) drop(key int64) error {
+	u, ok := c.units[key]
+	if !ok {
+		return nil
+	}
+	for i := 0; i < c.segments[key]; i++ {
+		if err := c.file.Delete(segKey(key, i)); err != nil && !errors.Is(err, hashfile.ErrNotFound) {
+			return err
+		}
+	}
+	delete(c.segments, key)
+	delete(c.units, key)
+	for _, oid := range u {
+		if locks := c.ilocks[oid]; locks != nil {
+			delete(locks, key)
+			if len(locks) == 0 {
+				delete(c.ilocks, oid)
+			}
+		}
+	}
+	return nil
+}
+
+// Invalidate drops every cached unit holding an I-lock on the updated
+// subobject, returning how many were invalidated. Each drop pays
+// hash-file delete I/O — the invalidation cost that makes caching lose
+// when Pr(UPDATE) → 1 (§5.2.1).
+func (c *Cache) Invalidate(updated object.OID) (int, error) {
+	locks := c.ilocks[updated]
+	if len(locks) == 0 {
+		return 0, nil
+	}
+	keys := make([]int64, 0, len(locks))
+	for k := range locks {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		if err := c.drop(k); err != nil {
+			return 0, err
+		}
+	}
+	c.stats.Invalidations += int64(len(keys))
+	return len(keys), nil
+}
+
+// Clear empties the cache (between experiment configurations).
+func (c *Cache) Clear() error {
+	keys := make([]int64, 0, len(c.units))
+	for k := range c.units {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		if err := c.drop(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies directory/lock-table consistency: every
+// cached unit's OIDs hold an I-lock on it and vice versa, and the hash
+// file agrees with the directory. Tests call this after randomized
+// workloads.
+func (c *Cache) CheckInvariants() error {
+	for key, u := range c.units {
+		for _, oid := range u {
+			if _, ok := c.ilocks[oid][key]; !ok {
+				return fmt.Errorf("cache: unit %d member %v missing I-lock", key, oid)
+			}
+		}
+		for i := 0; i < c.segments[key]; i++ {
+			if ok, err := c.file.Contains(segKey(key, i)); err != nil || !ok {
+				return fmt.Errorf("cache: unit %d segment %d not in hash file (err=%v)", key, i, err)
+			}
+		}
+	}
+	for oid, locks := range c.ilocks {
+		for key := range locks {
+			u, ok := c.units[key]
+			if !ok {
+				return fmt.Errorf("cache: I-lock of %v references dropped unit %d", oid, key)
+			}
+			found := false
+			for _, member := range u {
+				if member == oid {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("cache: I-lock of %v on unit %d that does not contain it", oid, key)
+			}
+		}
+	}
+	wantEntries := 0
+	for key := range c.units {
+		wantEntries += c.segments[key]
+	}
+	if c.file.Count() != wantEntries {
+		return fmt.Errorf("cache: hash file holds %d entries, directory expects %d", c.file.Count(), wantEntries)
+	}
+	return nil
+}

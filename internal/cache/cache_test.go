@@ -1,0 +1,255 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"corep/internal/buffer"
+	"corep/internal/disk"
+	"corep/internal/object"
+)
+
+func newCache(t *testing.T, maxUnits int) (*Cache, *disk.Sim) {
+	t.Helper()
+	d := disk.NewSim()
+	pool := buffer.New(d, 64)
+	c, err := New(pool, maxUnits, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d
+}
+
+func unit(keys ...int64) object.Unit {
+	u := make(object.Unit, len(keys))
+	for i, k := range keys {
+		u[i] = object.NewOID(2, k)
+	}
+	return u
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c, _ := newCache(t, 10)
+	u := unit(1, 2, 3)
+	if _, ok, err := c.Lookup(u); err != nil || ok {
+		t.Fatalf("fresh lookup: ok=%v err=%v", ok, err)
+	}
+	if err := c.Insert(u, []byte("values")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Lookup(u)
+	if err != nil || !ok {
+		t.Fatalf("lookup after insert: ok=%v err=%v", ok, err)
+	}
+	if string(v) != "values" {
+		t.Fatalf("value = %q", v)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Inserts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedUnitOneEntry(t *testing.T) {
+	// Outside caching: two objects referencing the same unit share one
+	// cached entry.
+	c, _ := newCache(t, 10)
+	u1 := unit(5, 6)
+	u2 := unit(5, 6) // same unit, different slice
+	if err := c.Insert(u1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsCached(u2) {
+		t.Fatal("identical unit not shared")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestInvalidateDropsAllHolders(t *testing.T) {
+	c, _ := newCache(t, 10)
+	// Three units; OID 2:7 belongs to the first two.
+	a, b, d := unit(7, 1), unit(7, 2), unit(3, 4)
+	for _, u := range []object.Unit{a, b, d} {
+		if err := c.Insert(u, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := c.Invalidate(object.NewOID(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if c.IsCached(a) || c.IsCached(b) {
+		t.Fatal("invalidated units still cached")
+	}
+	if !c.IsCached(d) {
+		t.Fatal("unrelated unit dropped")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidateNoHolders(t *testing.T) {
+	c, _ := newCache(t, 10)
+	n, err := c.Invalidate(object.NewOID(2, 99))
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	c, _ := newCache(t, 5)
+	for i := int64(0); i < 20; i++ {
+		if err := c.Insert(unit(i, i+100), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 5 {
+		t.Fatalf("len = %d, want capacity 5", c.Len())
+	}
+	if c.Stats().Evictions != 15 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReinsertRefreshes(t *testing.T) {
+	c, _ := newCache(t, 5)
+	u := unit(1)
+	if err := c.Insert(u, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(u, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	v, ok, err := c.Lookup(u)
+	if err != nil || !ok || string(v) != "new" {
+		t.Fatalf("v=%q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c, _ := newCache(t, 10)
+	for i := int64(0); i < 5; i++ {
+		_ = c.Insert(unit(i), []byte("v"))
+	}
+	if err := c.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupCostsIO(t *testing.T) {
+	// A cache hit must pay a hash probe; IsCached must not.
+	d := disk.NewSim()
+	pool := buffer.New(d, 8)
+	c, err := New(pool, 100, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := unit(1, 2, 3, 4, 5)
+	if err := c.Insert(u, make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	if !c.IsCached(u) {
+		t.Fatal("not cached")
+	}
+	if got := d.Stats().Sub(before); got.Total() != 0 {
+		t.Fatalf("IsCached cost %d I/Os", got.Total())
+	}
+	if _, ok, err := c.Lookup(u); err != nil || !ok {
+		t.Fatal("lookup failed")
+	}
+	if got := d.Stats().Sub(before); got.Reads == 0 {
+		t.Fatal("cold hit cost no reads")
+	}
+}
+
+func TestUpdateStormShrinksCache(t *testing.T) {
+	// §5.2.1: frequent updates both pay invalidation cost and shrink the
+	// set of cached units.
+	c, _ := newCache(t, 50)
+	var units []object.Unit
+	for i := int64(0); i < 50; i++ {
+		u := unit(i, i+1, i+2)
+		units = append(units, u)
+		if err := c.Insert(u, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Len()
+	for i := int64(0); i < 25; i++ {
+		if _, err := c.Invalidate(object.NewOID(2, i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() >= before {
+		t.Fatalf("cache did not shrink: %d → %d", before, c.Len())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedInvariants(t *testing.T) {
+	c, _ := newCache(t, 20)
+	rng := rand.New(rand.NewSource(9))
+	for op := 0; op < 2000; op++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			n := 2 + rng.Intn(4)
+			u := make(object.Unit, n)
+			for i := range u {
+				u[i] = object.NewOID(2, int64(rng.Intn(100)))
+			}
+			if err := c.Insert(u, []byte(fmt.Sprintf("v%d", op))); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if _, err := c.Invalidate(object.NewOID(2, int64(rng.Intn(100)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() > 20 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Hits: 5, Misses: 3, Inserts: 2, Evictions: 1, Invalidations: 4}
+	b := Stats{Hits: 1, Misses: 1, Inserts: 1, Evictions: 0, Invalidations: 2}
+	got := a.Sub(b)
+	if got != (Stats{Hits: 4, Misses: 2, Inserts: 1, Evictions: 1, Invalidations: 2}) {
+		t.Fatalf("sub = %+v", got)
+	}
+}

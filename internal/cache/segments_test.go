@@ -1,0 +1,49 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"corep/internal/object"
+)
+
+func TestLargeValueSegments(t *testing.T) {
+	c, _ := newCache(t, 10)
+	u := unit(1, 2, 3)
+	big := bytes.Repeat([]byte{7}, 4000) // spans 3 segments
+	if err := c.Insert(u, big); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Lookup(u)
+	if err != nil || !ok {
+		t.Fatalf("lookup: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatalf("value corrupted: %d bytes", len(got))
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Replace with a smaller value: old segments must be cleaned up.
+	small := []byte("small")
+	if err := c.Insert(u, small); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = c.Lookup(u)
+	if !bytes.Equal(got, small) {
+		t.Fatal("replace failed")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Invalidation drops all segments.
+	if _, err := c.Invalidate(object.NewOID(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("unit survived invalidation")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

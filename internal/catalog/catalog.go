@@ -1,0 +1,175 @@
+// Package catalog tracks relations and their storage structures.
+//
+// The paper's database (§4) holds ParentRel and ChildRel as B-trees on
+// OID, ClusterRel as a B-tree on cluster# with an ISAM index on OID, and
+// Cache as a hash relation. The catalog maps relation names and ids to
+// those structures so that OIDs — "the concatenation of the relation
+// identifier and the primary key of a tuple" — can be resolved.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+
+	"corep/internal/btree"
+	"corep/internal/buffer"
+	"corep/internal/hashfile"
+	"corep/internal/heap"
+	"corep/internal/isam"
+	"corep/internal/tuple"
+)
+
+// Kind describes the primary storage structure of a relation.
+type Kind uint8
+
+// Storage structure kinds.
+const (
+	KindBTree Kind = iota // clustered B-tree on the integer key
+	KindHeap              // unordered heap file
+	KindHash              // static hash file
+)
+
+// ErrNoRelation reports an unknown relation name or id.
+var ErrNoRelation = errors.New("catalog: no such relation")
+
+// Relation is a named relation plus handles to its storage structures.
+type Relation struct {
+	Name   string
+	ID     uint16
+	Kind   Kind
+	Schema *tuple.Schema
+
+	Tree *btree.Tree    // when Kind == KindBTree
+	Heap *heap.File     // when Kind == KindHeap
+	Hash *hashfile.File // when Kind == KindHash
+
+	// Index is an optional secondary ISAM index (ClusterRel.OID in the
+	// paper's setup).
+	Index *isam.Index
+}
+
+// Catalog is the registry of relations sharing one buffer pool.
+type Catalog struct {
+	pool   *buffer.Pool
+	byName map[string]*Relation
+	byID   map[uint16]*Relation
+	nextID uint16
+}
+
+// New creates an empty catalog over pool.
+func New(pool *buffer.Pool) *Catalog {
+	return &Catalog{
+		pool:   pool,
+		byName: make(map[string]*Relation),
+		byID:   make(map[uint16]*Relation),
+		nextID: 1,
+	}
+}
+
+// Pool returns the shared buffer pool.
+func (c *Catalog) Pool() *buffer.Pool { return c.pool }
+
+// CreateBTree registers a new B-tree-structured relation.
+func (c *Catalog) CreateBTree(name string, schema *tuple.Schema) (*Relation, error) {
+	tr, err := btree.Create(c.pool)
+	if err != nil {
+		return nil, err
+	}
+	return c.register(&Relation{Name: name, Kind: KindBTree, Schema: schema, Tree: tr})
+}
+
+// CreateHeap registers a new heap-structured relation.
+func (c *Catalog) CreateHeap(name string, schema *tuple.Schema) (*Relation, error) {
+	h, err := heap.Create(c.pool)
+	if err != nil {
+		return nil, err
+	}
+	return c.register(&Relation{Name: name, Kind: KindHeap, Schema: schema, Heap: h})
+}
+
+// CreateHash registers a new hash-structured relation with the given
+// bucket count.
+func (c *Catalog) CreateHash(name string, schema *tuple.Schema, buckets int) (*Relation, error) {
+	h, err := hashfile.Create(c.pool, buckets)
+	if err != nil {
+		return nil, err
+	}
+	return c.register(&Relation{Name: name, Kind: KindHash, Schema: schema, Hash: h})
+}
+
+func (c *Catalog) register(r *Relation) (*Relation, error) {
+	if _, dup := c.byName[r.Name]; dup {
+		return nil, fmt.Errorf("catalog: relation %q already exists", r.Name)
+	}
+	r.ID = c.nextID
+	c.nextID++
+	c.byName[r.Name] = r
+	c.byID[r.ID] = r
+	return r, nil
+}
+
+// Restore registers a relation reconstructed from persisted metadata,
+// keeping its original id (reopen path of file-backed databases).
+func (c *Catalog) Restore(r *Relation) error {
+	if _, dup := c.byName[r.Name]; dup {
+		return fmt.Errorf("catalog: relation %q already exists", r.Name)
+	}
+	if _, dup := c.byID[r.ID]; dup {
+		return fmt.Errorf("catalog: relation id %d already exists", r.ID)
+	}
+	c.byName[r.Name] = r
+	c.byID[r.ID] = r
+	if r.ID >= c.nextID {
+		c.nextID = r.ID + 1
+	}
+	return nil
+}
+
+// Drop removes a relation from the catalog. Its pages are not reclaimed
+// (the simulated disk never shrinks); experiments drop and rebuild
+// temporaries freely.
+func (c *Catalog) Drop(name string) error {
+	r, ok := c.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoRelation, name)
+	}
+	delete(c.byName, name)
+	delete(c.byID, r.ID)
+	return nil
+}
+
+// Get returns the relation named name.
+func (c *Catalog) Get(name string) (*Relation, error) {
+	r, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoRelation, name)
+	}
+	return r, nil
+}
+
+// MustGet is Get for relations known to exist; it panics otherwise.
+func (c *Catalog) MustGet(name string) *Relation {
+	r, err := c.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ByID returns the relation with the given id.
+func (c *Catalog) ByID(id uint16) (*Relation, error) {
+	r, ok := c.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNoRelation, id)
+	}
+	return r, nil
+}
+
+// Names returns all relation names (unordered).
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocStartsAtOne(t *testing.T) {
+	d := NewSim()
+	id, err := d.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("first alloc = %d, want 1", id)
+	}
+	if id == InvalidPageID {
+		t.Fatal("allocated the invalid page id")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := NewSim()
+	id, err := d.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, PageSize)
+	for i := range out {
+		out[i] = byte(i * 7)
+	}
+	if err := d.Write(id, out); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, PageSize)
+	if err := d.Read(id, in); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("byte %d = %d, want %d", i, in[i], out[i])
+		}
+	}
+}
+
+func TestFreshPageIsZeroed(t *testing.T) {
+	d := NewSim()
+	id, _ := d.Alloc()
+	in := make([]byte, PageSize)
+	in[0] = 0xff
+	if err := d.Read(id, in); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range in {
+		if b != 0 {
+			t.Fatalf("fresh page byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestWriteDoesNotAliasCaller(t *testing.T) {
+	d := NewSim()
+	id, _ := d.Alloc()
+	buf := make([]byte, PageSize)
+	buf[5] = 42
+	if err := d.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[5] = 99 // mutate after write; disk copy must be unaffected
+	in := make([]byte, PageSize)
+	if err := d.Read(id, in); err != nil {
+		t.Fatal(err)
+	}
+	if in[5] != 42 {
+		t.Fatalf("disk aliased caller buffer: got %d, want 42", in[5])
+	}
+}
+
+func TestBadSizeRejected(t *testing.T) {
+	d := NewSim()
+	id, _ := d.Alloc()
+	if err := d.Read(id, make([]byte, 10)); !errors.Is(err, ErrBadPageSize) {
+		t.Fatalf("short read buf: err = %v, want ErrBadPageSize", err)
+	}
+	if err := d.Write(id, make([]byte, PageSize+1)); !errors.Is(err, ErrBadPageSize) {
+		t.Fatalf("long write buf: err = %v, want ErrBadPageSize", err)
+	}
+}
+
+func TestUnallocatedPage(t *testing.T) {
+	d := NewSim()
+	buf := make([]byte, PageSize)
+	if err := d.Read(77, buf); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("read unallocated: err = %v, want ErrPageNotFound", err)
+	}
+	if err := d.Write(InvalidPageID, buf); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("write invalid: err = %v, want ErrPageNotFound", err)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	d := NewSim()
+	id, _ := d.Alloc()
+	buf := make([]byte, PageSize)
+	for i := 0; i < 3; i++ {
+		if err := d.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.Reads != 5 || s.Writes != 3 || s.Allocs != 1 {
+		t.Fatalf("stats = %+v, want reads=5 writes=3 allocs=1", s)
+	}
+	if s.Total() != 8 {
+		t.Fatalf("total = %d, want 8", s.Total())
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 7, Allocs: 3}
+	b := Stats{Reads: 4, Writes: 2, Allocs: 1}
+	got := a.Sub(b)
+	if got != (Stats{Reads: 6, Writes: 5, Allocs: 2}) {
+		t.Fatalf("sub = %+v", got)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := NewSim()
+	id, _ := d.Alloc()
+	buf := make([]byte, PageSize)
+	_ = d.Write(id, buf)
+	d.ResetStats()
+	s := d.Stats()
+	if s.Reads != 0 || s.Writes != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+	// Pages must still be readable after a stats reset.
+	if err := d.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	d := NewSim()
+	id, _ := d.Alloc()
+	d.SetFault(func(op string, pid PageID) error {
+		if op == "read" && pid == id {
+			return ErrFaulted
+		}
+		return nil
+	})
+	buf := make([]byte, PageSize)
+	if err := d.Read(id, buf); !errors.Is(err, ErrFaulted) {
+		t.Fatalf("err = %v, want ErrFaulted", err)
+	}
+	// Writes still work.
+	if err := d.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Clearing the fault restores reads.
+	d.SetFault(nil)
+	if err := d.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagesIndependent(t *testing.T) {
+	// Property: data written to one page never appears in another.
+	d := NewSim()
+	ids := make([]PageID, 8)
+	for i := range ids {
+		ids[i], _ = d.Alloc()
+	}
+	f := func(pick uint8, fill byte) bool {
+		i := int(pick) % len(ids)
+		buf := make([]byte, PageSize)
+		for j := range buf {
+			buf[j] = fill
+		}
+		if err := d.Write(ids[i], buf); err != nil {
+			return false
+		}
+		in := make([]byte, PageSize)
+		if err := d.Read(ids[i], in); err != nil {
+			return false
+		}
+		return in[0] == fill && in[PageSize-1] == fill
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileDisk is a Manager backed by a real file: page i lives at offset
+// (i-1) × PageSize. It gives the object API durable storage while
+// keeping the same counted-I/O semantics as Sim (one Read/Write per
+// page transfer), so performance experiments remain meaningful on
+// either backend.
+type FileDisk struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages int
+	stats Stats
+}
+
+// OpenFile opens (creating if absent) a page file. An existing file's
+// length must be a whole number of pages.
+func OpenFile(path string) (*FileDisk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("disk: %s is not page-aligned (%d bytes)", path, fi.Size())
+	}
+	return &FileDisk{f: f, pages: int(fi.Size() / PageSize)}, nil
+}
+
+// Alloc reserves a fresh zeroed page at the end of the file.
+func (d *FileDisk) Alloc() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := PageID(d.pages + 1)
+	var zero [PageSize]byte
+	if _, err := d.f.WriteAt(zero[:], int64(d.pages)*PageSize); err != nil {
+		return InvalidPageID, err
+	}
+	d.pages++
+	d.stats.Allocs++
+	return id, nil
+}
+
+// Read copies page id into buf.
+func (d *FileDisk) Read(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return ErrBadPageSize
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id == InvalidPageID || int(id) > d.pages {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	if _, err := d.f.ReadAt(buf, int64(id-1)*PageSize); err != nil {
+		return err
+	}
+	d.stats.Reads++
+	return nil
+}
+
+// Write stores buf as page id's contents.
+func (d *FileDisk) Write(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return ErrBadPageSize
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id == InvalidPageID || int(id) > d.pages {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	if _, err := d.f.WriteAt(buf, int64(id-1)*PageSize); err != nil {
+		return err
+	}
+	d.stats.Writes++
+	return nil
+}
+
+// Stats returns a snapshot of the I/O counters (process-lifetime only;
+// counters are not persisted).
+func (d *FileDisk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the read/write counters.
+func (d *FileDisk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Reads, d.stats.Writes = 0, 0
+}
+
+// NumPages returns the number of allocated pages.
+func (d *FileDisk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pages
+}
+
+// Sync flushes the file to stable storage.
+func (d *FileDisk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Sync()
+}
+
+// Close syncs and closes the file.
+func (d *FileDisk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.f.Sync(); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}

@@ -1,0 +1,145 @@
+package disk
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T) (*FileDisk, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, path
+}
+
+func TestFileDiskRoundTrip(t *testing.T) {
+	d, _ := openTemp(t)
+	defer d.Close()
+	id, err := d.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, PageSize)
+	for i := range out {
+		out[i] = byte(i % 251)
+	}
+	if err := d.Write(id, out); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, PageSize)
+	if err := d.Read(id, in); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+}
+
+func TestFileDiskPersistsAcrossReopen(t *testing.T) {
+	d, path := openTemp(t)
+	ids := make([]PageID, 5)
+	buf := make([]byte, PageSize)
+	for i := range ids {
+		var err error
+		if ids[i], err = d.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i + 1)
+		if err := d.Write(ids[i], buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.NumPages() != 5 {
+		t.Fatalf("pages after reopen = %d", e.NumPages())
+	}
+	for i, id := range ids {
+		if err := e.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("page %d content = %d", i, buf[0])
+		}
+	}
+	// New allocations continue after the persisted pages.
+	id, err := e.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 6 {
+		t.Fatalf("next alloc = %d", id)
+	}
+}
+
+func TestFileDiskErrors(t *testing.T) {
+	d, _ := openTemp(t)
+	defer d.Close()
+	buf := make([]byte, PageSize)
+	if err := d.Read(1, buf); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("read unallocated: %v", err)
+	}
+	if err := d.Write(InvalidPageID, buf); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("write invalid: %v", err)
+	}
+	if err := d.Read(1, make([]byte, 7)); !errors.Is(err, ErrBadPageSize) {
+		t.Fatalf("bad size: %v", err)
+	}
+}
+
+func TestFileDiskRejectsTornFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.db")
+	d, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-page.
+	if err := truncate(path, PageSize/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Fatal("torn file accepted")
+	}
+}
+
+func TestFileDiskStats(t *testing.T) {
+	d, _ := openTemp(t)
+	defer d.Close()
+	id, _ := d.Alloc()
+	buf := make([]byte, PageSize)
+	_ = d.Write(id, buf)
+	_ = d.Read(id, buf)
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 1 || s.Allocs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	d.ResetStats()
+	if s := d.Stats(); s.Reads != 0 || s.Writes != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+// truncate shrinks a file (test helper).
+func truncate(path string, n int64) error {
+	return os.Truncate(path, n)
+}

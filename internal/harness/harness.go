@@ -1,0 +1,170 @@
+// Package harness runs measured query sequences against generated
+// databases and reproduces the paper's experiments.
+//
+// The measurement protocol follows §4: generate a database for a
+// parameter point, generate a sequence of retrieves mixed with updates,
+// run it through one query-processing strategy, and report the average
+// I/O per query. Every (parameter point, strategy) pair gets a freshly
+// built database from the same seed, so strategies are compared on
+// identical data and identical operation streams.
+package harness
+
+import (
+	"fmt"
+
+	"corep/internal/cache"
+	"corep/internal/strategy"
+	"corep/internal/workload"
+)
+
+// RunConfig describes one measured run.
+type RunConfig struct {
+	DB       workload.Config
+	Strategy strategy.Kind
+	// SmartThreshold overrides SMART's N when > 0.
+	SmartThreshold int
+
+	// NumRetrieves is the number of retrieve queries (0 → adaptive from
+	// NumTop, capped at 1000 — the paper's typical sequence length).
+	NumRetrieves int
+	PrUpdate     float64
+	// NumTop, or NumTops for a mixed sequence (SMART's scenario).
+	NumTop  int
+	NumTops []int
+}
+
+// Measurement is the result of one run.
+type Measurement struct {
+	Strategy  strategy.Kind
+	Retrieves int
+	Updates   int
+
+	// AvgIO is total sequence I/O divided by the number of queries — the
+	// paper's yardstick.
+	AvgIO float64
+	// AvgRetrieveIO / AvgUpdateIO split the same total by op kind.
+	AvgRetrieveIO float64
+	AvgUpdateIO   float64
+	// AvgPar / AvgChild decompose retrieve cost (Figure 5).
+	AvgPar   float64
+	AvgChild float64
+
+	Cache cache.Stats // zero unless the strategy uses the cache
+}
+
+func (m Measurement) String() string {
+	return fmt.Sprintf("%s: avg=%.1f (retr=%.1f par=%.1f child=%.1f upd=%.1f) over %d retrieves + %d updates",
+		m.Strategy, m.AvgIO, m.AvgRetrieveIO, m.AvgPar, m.AvgChild, m.AvgUpdateIO, m.Retrieves, m.Updates)
+}
+
+// AdaptiveRetrieves picks a sequence length: the paper's 1000 at small
+// NumTop, fewer at large NumTop where per-query cost converges quickly.
+func AdaptiveRetrieves(numTop int) int {
+	if numTop < 1 {
+		numTop = 1
+	}
+	n := 240000 / numTop
+	if n > 1000 {
+		n = 1000
+	}
+	if n < 24 {
+		n = 24
+	}
+	return n
+}
+
+// Run builds the database, generates the sequence, executes it and
+// returns the measurement.
+func Run(rc RunConfig) (*Measurement, error) {
+	dbCfg := rc.DB.WithDefaults()
+	// Provision only the structures the strategy needs, as the paper's
+	// experiments do (Figure 2's representation choices).
+	switch rc.Strategy {
+	case strategy.DFSCACHE, strategy.SMART, strategy.DFSCACHEINSIDE:
+		if dbCfg.CacheUnits == 0 {
+			dbCfg.CacheUnits = workload.DefaultCacheUnits
+		}
+		dbCfg.Clustered = false
+	case strategy.DFSCLUST:
+		dbCfg.Clustered = true
+		dbCfg.CacheUnits = 0
+	default:
+		dbCfg.Clustered = false
+		dbCfg.CacheUnits = 0
+	}
+	db, err := workload.Build(dbCfg)
+	if err != nil {
+		return nil, err
+	}
+	var st strategy.Strategy
+	if rc.Strategy == strategy.SMART && rc.SmartThreshold > 0 {
+		st, err = strategy.NewSmart(db, rc.SmartThreshold)
+	} else {
+		st, err = strategy.New(rc.Strategy, db)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	numTops := rc.NumTops
+	if len(numTops) == 0 {
+		numTops = []int{rc.NumTop}
+	}
+	nRetr := rc.NumRetrieves
+	if nRetr == 0 {
+		maxTop := 0
+		for _, nt := range numTops {
+			if nt > maxTop {
+				maxTop = nt
+			}
+		}
+		nRetr = AdaptiveRetrieves(maxTop)
+	}
+	ops := db.GenMixedSequence(nRetr, rc.PrUpdate, numTops)
+	return Execute(db, st, ops)
+}
+
+// Execute runs a prepared sequence against a prepared database.
+func Execute(db *workload.DB, st strategy.Strategy, ops []workload.Op) (*Measurement, error) {
+	if err := db.ResetCold(); err != nil {
+		return nil, err
+	}
+	m := &Measurement{Strategy: st.Kind()}
+	var retrIO, updIO int64
+	var split strategy.CostSplit
+	for _, op := range ops {
+		before := db.Disk.Stats().Total()
+		switch op.Kind {
+		case workload.OpRetrieve:
+			res, err := st.Retrieve(db, strategy.Query{Lo: op.Lo, Hi: op.Hi, AttrIdx: op.AttrIdx})
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s retrieve [%d,%d]: %w", st.Kind(), op.Lo, op.Hi, err)
+			}
+			split.Add(res.Split)
+			retrIO += db.Disk.Stats().Total() - before
+			m.Retrieves++
+		case workload.OpUpdate:
+			if err := st.Update(db, op); err != nil {
+				return nil, fmt.Errorf("harness: %s update: %w", st.Kind(), err)
+			}
+			updIO += db.Disk.Stats().Total() - before
+			m.Updates++
+		}
+	}
+	total := retrIO + updIO
+	if n := m.Retrieves + m.Updates; n > 0 {
+		m.AvgIO = float64(total) / float64(n)
+	}
+	if m.Retrieves > 0 {
+		m.AvgRetrieveIO = float64(retrIO) / float64(m.Retrieves)
+		m.AvgPar = float64(split.Par) / float64(m.Retrieves)
+		m.AvgChild = float64(split.Child) / float64(m.Retrieves)
+	}
+	if m.Updates > 0 {
+		m.AvgUpdateIO = float64(updIO) / float64(m.Updates)
+	}
+	if db.Cache != nil {
+		m.Cache = db.Cache.Stats()
+	}
+	return m, nil
+}

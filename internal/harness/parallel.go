@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"corep/internal/strategy"
+	"corep/internal/workload"
+)
+
+// Grid experiments like Figure 4 run hundreds of independent
+// (database, strategy, sequence) measurements; every run owns its own
+// simulated disk, pool and catalog, so they parallelize perfectly.
+
+// gridReq is one measurement request.
+type gridReq struct {
+	cfg    workload.Config
+	kind   strategy.Kind
+	numTop int
+	pr     float64
+}
+
+// runBatch executes reqs concurrently (bounded by GOMAXPROCS) and
+// returns measurements in request order. The first error aborts.
+func (sc Scale) runBatch(reqs []gridReq) ([]*Measurement, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]*Measurement, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				m, err := sc.run(reqs[i].cfg, reqs[i].kind, reqs[i].numTop, reqs[i].pr)
+				out[i], errs[i] = m, err
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders series as an ASCII chart — the terminal analogue of the
+// paper's figures. X and Y can be log-scaled (Figure 3 is log-log).
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 20)
+
+	series []plotSeries
+}
+
+type plotSeries struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// Markers assigned to series in order.
+var plotMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// AddSeries appends one named curve. xs and ys must have equal length.
+func (p *Plot) AddSeries(name string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("plot: series %q has %d xs but %d ys", name, len(xs), len(ys))
+	}
+	m := plotMarkers[len(p.series)%len(plotMarkers)]
+	p.series = append(p.series, plotSeries{name: name, marker: m, xs: xs, ys: ys})
+	return nil
+}
+
+func (p *Plot) scale(v float64, log bool) float64 {
+	if log {
+		if v <= 0 {
+			v = 1e-9
+		}
+		return math.Log10(v)
+	}
+	return v
+}
+
+// Fprint renders the chart.
+func (p *Plot) Fprint(w io.Writer) {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 20
+	}
+	// Bounds over scaled coordinates.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.xs {
+			x, y := p.scale(s.xs[i], p.LogX), p.scale(s.ys[i], p.LogY)
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX { // no data
+		fmt.Fprintf(w, "%s: (no data)\n", p.Title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			x, y := p.scale(s.xs[i], p.LogX), p.scale(s.ys[i], p.LogY)
+			c := int((x - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			if grid[r][c] == ' ' || grid[r][c] == s.marker {
+				grid[r][c] = s.marker
+			} else {
+				grid[r][c] = '&' // overlapping series
+			}
+		}
+	}
+	if p.Title != "" {
+		fmt.Fprintf(w, "%s\n", p.Title)
+	}
+	yLo, yHi := minY, maxY
+	fmtY := func(v float64) string {
+		if p.LogY {
+			return fmt.Sprintf("%.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9s", fmtY(yHi))
+		case height - 1:
+			label = fmt.Sprintf("%9s", fmtY(yLo))
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(row))
+	}
+	fmtX := func(v float64) string {
+		if p.LogX {
+			return fmt.Sprintf("%.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	left, right := fmtX(minX), fmtX(maxX)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", 9), left, strings.Repeat(" ", pad), right)
+	var legend []string
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.marker, s.name))
+	}
+	fmt.Fprintf(w, "%s   %s", strings.Repeat(" ", 9), strings.Join(legend, "   "))
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(w, "   [x: %s, y: %s]", p.XLabel, p.YLabel)
+	}
+	fmt.Fprintln(w)
+}
+
+// PlotFromTable builds a log-log plot of numeric columns against the
+// first column. Non-numeric cells are skipped.
+func PlotFromTable(t *Table, logX, logY bool) *Plot {
+	p := &Plot{Title: t.ID + " — " + t.Title, LogX: logX, LogY: logY}
+	if len(t.Columns) < 2 {
+		return p
+	}
+	for col := 1; col < len(t.Columns); col++ {
+		var xs, ys []float64
+		for _, row := range t.Rows {
+			if col >= len(row) {
+				continue
+			}
+			var x, y float64
+			if _, err := fmt.Sscanf(row[0], "%g", &x); err != nil {
+				continue
+			}
+			if _, err := fmt.Sscanf(row[col], "%g", &y); err != nil {
+				continue
+			}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		if len(xs) > 0 {
+			_ = p.AddSeries(t.Columns[col], xs, ys)
+		}
+	}
+	return p
+}

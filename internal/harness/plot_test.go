@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	p := &Plot{Title: "t", Width: 20, Height: 5}
+	if err := p.AddSeries("a", []float64{1, 2, 3}, []float64{1, 4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	p.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "t\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no markers plotted")
+	}
+}
+
+func TestPlotLogScales(t *testing.T) {
+	p := &Plot{LogX: true, LogY: true, Width: 30, Height: 8}
+	_ = p.AddSeries("s", []float64{1, 10, 100, 1000}, []float64{1, 10, 100, 1000})
+	var sb strings.Builder
+	p.Fprint(&sb)
+	out := sb.String()
+	// On log-log a power law is a diagonal: marker rows must differ.
+	lines := strings.Split(out, "\n")
+	markerRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "s ") || !strings.Contains(l, "*") {
+			continue
+		}
+		markerRows++
+	}
+	if markerRows < 3 {
+		t.Fatalf("log-log diagonal collapsed (%d marker rows):\n%s", markerRows, out)
+	}
+	// Axis labels show de-logged values.
+	if !strings.Contains(out, "1e+03") && !strings.Contains(out, "1000") {
+		t.Fatalf("y axis not de-logged:\n%s", out)
+	}
+}
+
+func TestPlotSeriesLengthMismatch(t *testing.T) {
+	p := &Plot{}
+	if err := p.AddSeries("bad", []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	var sb strings.Builder
+	p.Fprint(&sb)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatalf("empty plot output: %q", sb.String())
+	}
+}
+
+func TestPlotOverlapMarker(t *testing.T) {
+	p := &Plot{Width: 10, Height: 3}
+	_ = p.AddSeries("a", []float64{1}, []float64{1})
+	_ = p.AddSeries("b", []float64{1}, []float64{1})
+	var sb strings.Builder
+	p.Fprint(&sb)
+	if !strings.Contains(sb.String(), "&") {
+		t.Fatal("overlapping points not marked")
+	}
+}
+
+func TestPlotFromTable(t *testing.T) {
+	tb := &Table{ID: "x", Title: "y", Columns: []string{"NumTop", "DFS", "BFS"}}
+	tb.AddRow("1", "5.0", "7.0")
+	tb.AddRow("10", "50.0", "52.0")
+	tb.AddRow("100", "500.0", "120.0")
+	p := PlotFromTable(tb, true, true)
+	if len(p.series) != 2 {
+		t.Fatalf("series = %d", len(p.series))
+	}
+	if p.series[0].name != "DFS" || len(p.series[0].xs) != 3 {
+		t.Fatalf("series[0] = %+v", p.series[0])
+	}
+	var sb strings.Builder
+	p.Fprint(&sb)
+	if !strings.Contains(sb.String(), "DFS") || !strings.Contains(sb.String(), "BFS") {
+		t.Fatal("legend missing series")
+	}
+}
+
+func TestPlotFromTableSkipsNonNumeric(t *testing.T) {
+	tb := &Table{ID: "x", Title: "y", Columns: []string{"k", "v"}}
+	tb.AddRow("1", "DFSCLUST(5)")
+	tb.AddRow("2", "3.5")
+	p := PlotFromTable(tb, false, false)
+	if len(p.series) != 1 || len(p.series[0].xs) != 1 {
+		t.Fatalf("series = %+v", p.series)
+	}
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"testing"
+
+	"corep/internal/strategy"
+	"corep/internal/workload"
+)
+
+// Shape tests: the paper's qualitative results, asserted at reduced
+// scale so regressions in any layer that would flip a conclusion fail
+// loudly. These complement the correctness (agreement) tests — a bug
+// can keep answers right while silently destroying a cost structure.
+
+var shapeScale = Scale{NumParents: 2000, MaxRetrieves: 100, Seed: 1}
+
+func shapeRun(t *testing.T, cfg workload.Config, k strategy.Kind, numTop int, pr float64) float64 {
+	t.Helper()
+	m, err := shapeScale.run(cfg, k, numTop, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.AvgIO
+}
+
+func TestShapeBFSBeatsDFSAtHighNumTop(t *testing.T) {
+	// Figure 3's conclusion: "DFS is a loser when NumTop exceeds 50 or
+	// so"; and at NumTop=1 BFS is slightly worse.
+	cfg := workload.Config{UseFactor: 5}
+	dfsLow, bfsLow := shapeRun(t, cfg, strategy.DFS, 1, 0), shapeRun(t, cfg, strategy.BFS, 1, 0)
+	if dfsLow > bfsLow {
+		t.Fatalf("at NumTop=1 DFS (%f) should not lose to BFS (%f)", dfsLow, bfsLow)
+	}
+	dfsHigh, bfsHigh := shapeRun(t, cfg, strategy.DFS, 1000, 0), shapeRun(t, cfg, strategy.BFS, 1000, 0)
+	if bfsHigh*2 > dfsHigh {
+		t.Fatalf("at NumTop=1000 BFS (%f) should beat DFS (%f) by ≥2x", bfsHigh, dfsHigh)
+	}
+}
+
+func TestShapeClusteringOwnsShareFactorOne(t *testing.T) {
+	// Figure 4: "if ShareFactor is exactly one, then clustering will
+	// beat any strategy, regardless of the value of NumTop."
+	for _, nt := range []int{1, 100, 2000} {
+		clust := shapeRun(t, workload.Config{UseFactor: 1}, strategy.DFSCLUST, nt, 0)
+		bfs := shapeRun(t, workload.Config{UseFactor: 1}, strategy.BFS, nt, 0)
+		cache := shapeRun(t, workload.Config{UseFactor: 1}, strategy.DFSCACHE, nt, 0)
+		if clust > bfs || clust > cache {
+			t.Fatalf("NumTop=%d SF=1: DFSCLUST %f vs BFS %f, DFSCACHE %f", nt, clust, bfs, cache)
+		}
+	}
+}
+
+func TestShapeClusteringLosesAtHighNumTopWithSharing(t *testing.T) {
+	// Figure 4 / Figure 7: with sharing, BFS overtakes clustering for
+	// broad queries.
+	clust := shapeRun(t, workload.Config{UseFactor: 5}, strategy.DFSCLUST, 2000, 0)
+	bfs := shapeRun(t, workload.Config{UseFactor: 5}, strategy.BFS, 2000, 0)
+	if clust < bfs {
+		t.Fatalf("full scan at SF=5: DFSCLUST %f should lose to BFS %f", clust, bfs)
+	}
+}
+
+func TestShapeOverlapDegradesClustering(t *testing.T) {
+	// Figure 7: same ShareFactor, higher OverlapFactor ⇒ clustering
+	// strictly worse.
+	whole := shapeRun(t, workload.Config{UseFactor: 4, OverlapFactor: 1}, strategy.DFSCLUST, 200, 0)
+	scattered := shapeRun(t, workload.Config{UseFactor: 1, OverlapFactor: 4}, strategy.DFSCLUST, 200, 0)
+	if scattered <= whole {
+		t.Fatalf("OF=4 clustering (%f) should cost more than OF=1 (%f)", scattered, whole)
+	}
+}
+
+func TestShapeCachingNeedsLowUpdateRate(t *testing.T) {
+	// §5.2.1: frequent updates make caching lose its advantage. Compare
+	// DFSCACHE's retrieve cost at Pr=0 vs Pr→1 with everything cacheable.
+	cfg := workload.Config{UseFactor: 10, CacheUnits: 250}
+	quiet, err := shapeScale.run(cfg, strategy.DFSCACHE, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stormy, err := shapeScale.run(cfg, strategy.DFSCACHE, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stormy.AvgRetrieveIO <= quiet.AvgRetrieveIO {
+		t.Fatalf("retrieves under update storm (%f) should cost more than quiet (%f)",
+			stormy.AvgRetrieveIO, quiet.AvgRetrieveIO)
+	}
+	if stormy.Cache.Invalidations == 0 {
+		t.Fatal("update storm invalidated nothing")
+	}
+}
+
+func TestShapeOutsideBeatsInsideCachingUnderSharing(t *testing.T) {
+	// §3.2 / [JHIN88]: with shared units, outside caching wins; without
+	// sharing they tie.
+	cfg := workload.Config{UseFactor: 8}
+	outside := shapeRun(t, cfg, strategy.DFSCACHE, 10, 0)
+	inside := shapeRun(t, cfg, strategy.DFSCACHEINSIDE, 10, 0)
+	if outside >= inside {
+		t.Fatalf("outside (%f) should beat inside (%f) at UseFactor 8", outside, inside)
+	}
+}
+
+func TestShapeValueScanFlatAcrossSharing(t *testing.T) {
+	// §2.4 extension: value-based retrieval is a pure scan, so its cost
+	// must not grow with ShareFactor while BFS's falls (|ChildRel|
+	// shrinks) — different mechanisms, both shapes checked elsewhere;
+	// here the flatness.
+	cost := func(uf int) float64 {
+		db, err := workload.BuildValueBased(workload.Config{NumParents: 2000, UseFactor: uf, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for i := int64(0); i < 30; i++ {
+			before := db.Disk.Stats().Total()
+			if _, err := strategy.ValueScan(db, strategy.Query{Lo: i * 40, Hi: i*40 + 39, AttrIdx: workload.FieldRet1}); err != nil {
+				t.Fatal(err)
+			}
+			total += db.Disk.Stats().Total() - before
+		}
+		return float64(total) / 30
+	}
+	c1, c10 := cost(1), cost(10)
+	if c10 > c1*1.3 {
+		t.Fatalf("value scan cost rose with sharing: %f → %f", c1, c10)
+	}
+}
+
+func TestShapeSmartBounded(t *testing.T) {
+	// §5.3: on a mixed sequence SMART must not be far worse than the
+	// better of DFSCACHE and BFS.
+	run := func(k strategy.Kind) float64 {
+		m, err := Run(RunConfig{
+			DB:           workload.Config{UseFactor: 10, NumParents: 2000, Seed: 1},
+			Strategy:     k,
+			NumRetrieves: 60,
+			PrUpdate:     0.1,
+			NumTops:      []int{10, 1000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.AvgIO
+	}
+	bfs, cache, smart := run(strategy.BFS), run(strategy.DFSCACHE), run(strategy.SMART)
+	best := bfs
+	if cache < best {
+		best = cache
+	}
+	if smart > best*1.6 {
+		t.Fatalf("SMART %f strays beyond 1.6x of best(%f, %f)", smart, bfs, cache)
+	}
+}

@@ -1,0 +1,168 @@
+// Package heap implements unordered page-chained heap files.
+//
+// Heap files back the temporary relations of the breadth-first
+// strategies (§3.1 [2]: "Collect the OID's from qualifying tuples of
+// group into a temporary relation temp"). Forming the temporary costs
+// real page writes — the paper notes this cost makes BFS "slightly
+// worse" than DFS at low NumTop — so appends go through the buffer pool
+// like every other access.
+package heap
+
+import (
+	"errors"
+
+	"corep/internal/buffer"
+	"corep/internal/disk"
+	"corep/internal/storage"
+)
+
+// File is a heap file: a forward-linked chain of TypeHeap pages.
+type File struct {
+	pool  *buffer.Pool
+	first disk.PageID
+	last  disk.PageID
+	count int
+}
+
+// Create allocates an empty heap file.
+func Create(pool *buffer.Pool) (*File, error) {
+	id, buf, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	storage.Page{Buf: buf}.Init(storage.TypeHeap)
+	pool.Unpin(id, true)
+	return &File{pool: pool, first: id, last: id}, nil
+}
+
+// Open re-attaches to an existing heap file rooted at first. The caller
+// must know the chain head (the catalog stores it).
+func Open(pool *buffer.Pool, first disk.PageID) (*File, error) {
+	f := &File{pool: pool, first: first, last: first}
+	// Walk to the tail so appends keep working; also recount records.
+	id := first
+	for id != disk.InvalidPageID {
+		buf, err := pool.Pin(id)
+		if err != nil {
+			return nil, err
+		}
+		pg := storage.Page{Buf: buf}
+		pg.LiveRecords(func(int, []byte) bool { f.count++; return true })
+		next := pg.Next()
+		pool.Unpin(id, false)
+		f.last = id
+		id = next
+	}
+	return f, nil
+}
+
+// First returns the chain head (persisted in the catalog).
+func (f *File) First() disk.PageID { return f.first }
+
+// Count returns the number of live records.
+func (f *File) Count() int { return f.count }
+
+// Append inserts rec at the tail, growing the chain as needed, and
+// returns the record's RID.
+func (f *File) Append(rec []byte) (storage.RID, error) {
+	if len(rec) > disk.PageSize/2 {
+		return storage.RID{}, errors.New("heap: record larger than half a page")
+	}
+	buf, err := f.pool.Pin(f.last)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	pg := storage.Page{Buf: buf}
+	slot, err := pg.Insert(rec)
+	if err == nil {
+		f.pool.Unpin(f.last, true)
+		f.count++
+		return storage.RID{Page: f.last, Slot: uint16(slot)}, nil
+	}
+	if !errors.Is(err, storage.ErrPageFull) {
+		f.pool.Unpin(f.last, false)
+		return storage.RID{}, err
+	}
+	// Grow the chain.
+	nid, nbuf, nerr := f.pool.NewPage()
+	if nerr != nil {
+		f.pool.Unpin(f.last, false)
+		return storage.RID{}, nerr
+	}
+	npg := storage.Page{Buf: nbuf}
+	npg.Init(storage.TypeHeap)
+	npg.SetPrev(f.last)
+	pg.SetNext(nid)
+	f.pool.Unpin(f.last, true)
+	slot, err = npg.Insert(rec)
+	f.pool.Unpin(nid, true)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	f.last = nid
+	f.count++
+	return storage.RID{Page: nid, Slot: uint16(slot)}, nil
+}
+
+// Get fetches the record at rid. The returned slice is a copy.
+func (f *File) Get(rid storage.RID) ([]byte, error) {
+	buf, err := f.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	pg := storage.Page{Buf: buf}
+	rec, err := pg.Record(int(rid.Slot))
+	if err != nil {
+		f.pool.Unpin(rid.Page, false)
+		return nil, err
+	}
+	out := append([]byte(nil), rec...)
+	f.pool.Unpin(rid.Page, false)
+	return out, nil
+}
+
+// Scan calls fn for every live record in chain order. fn's rec slice is
+// only valid during the call; return false to stop early.
+func (f *File) Scan(fn func(rid storage.RID, rec []byte) bool) error {
+	id := f.first
+	for id != disk.InvalidPageID {
+		buf, err := f.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		pg := storage.Page{Buf: buf}
+		stop := false
+		pg.LiveRecords(func(slot int, rec []byte) bool {
+			if !fn(storage.RID{Page: id, Slot: uint16(slot)}, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		next := pg.Next()
+		f.pool.Unpin(id, false)
+		if stop {
+			return nil
+		}
+		id = next
+	}
+	return nil
+}
+
+// NumPages returns the length of the page chain (an I/O cost bound for a
+// full scan).
+func (f *File) NumPages() (int, error) {
+	n := 0
+	id := f.first
+	for id != disk.InvalidPageID {
+		buf, err := f.pool.Pin(id)
+		if err != nil {
+			return 0, err
+		}
+		next := storage.Page{Buf: buf}.Next()
+		f.pool.Unpin(id, false)
+		n++
+		id = next
+	}
+	return n, nil
+}

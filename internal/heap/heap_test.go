@@ -1,0 +1,198 @@
+package heap
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"corep/internal/buffer"
+	"corep/internal/disk"
+	"corep/internal/storage"
+)
+
+func newPool() *buffer.Pool {
+	return buffer.New(disk.NewSim(), 16)
+}
+
+func TestCreateEmpty(t *testing.T) {
+	f, err := Create(newPool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Count() != 0 {
+		t.Fatalf("count = %d", f.Count())
+	}
+	n := 0
+	if err := f.Scan(func(storage.RID, []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("scanned %d records from empty file", n)
+	}
+	pages, err := f.NumPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages != 1 {
+		t.Fatalf("pages = %d", pages)
+	}
+}
+
+func TestAppendGet(t *testing.T) {
+	f, err := Create(newPool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := f.Append([]byte("record-one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "record-one" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestAppendGrowsChain(t *testing.T) {
+	f, err := Create(newPool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, 500)
+	const n = 40 // 40*504B >> one 2KB page
+	rids := make([]storage.RID, n)
+	for i := 0; i < n; i++ {
+		rec[0] = byte(i)
+		rid, err := f.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	if f.Count() != n {
+		t.Fatalf("count = %d", f.Count())
+	}
+	pages, err := f.NumPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages < 10 {
+		t.Fatalf("pages = %d, expected chain growth", pages)
+	}
+	for i, rid := range rids {
+		got, err := f.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("record %d = %d", i, got[0])
+		}
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	f, err := Create(newPool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := f.Append([]byte(fmt.Sprintf("rec-%03d-%s", i, bytes.Repeat([]byte("x"), 80)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	err = f.Scan(func(rid storage.RID, rec []byte) bool {
+		want := fmt.Sprintf("rec-%03d-", i)
+		if string(rec[:len(want)]) != want {
+			t.Fatalf("record %d = %q", i, rec[:len(want)])
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("scanned %d, want %d", i, n)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	f, _ := Create(newPool())
+	for i := 0; i < 10; i++ {
+		if _, err := f.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	if err := f.Scan(func(storage.RID, []byte) bool { n++; return n < 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestOpenRecountsAndAppends(t *testing.T) {
+	pool := newPool()
+	f, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, 300)
+	for i := 0; i < 20; i++ {
+		if _, err := f.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := Open(pool, f.First())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != 20 {
+		t.Fatalf("reopened count = %d", g.Count())
+	}
+	if _, err := g.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != 21 {
+		t.Fatalf("count after append = %d", g.Count())
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	f, _ := Create(newPool())
+	if _, err := f.Append(make([]byte, disk.PageSize)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestAppendCostsIO(t *testing.T) {
+	// Forming a temporary relation must cost real page I/O once the file
+	// exceeds the buffer (the BFS temp-formation cost from §3.1).
+	d := disk.NewSim()
+	pool := buffer.New(d, 2)
+	f, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, 500)
+	for i := 0; i < 50; i++ {
+		if _, err := f.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Writes == 0 {
+		t.Fatal("no disk writes charged for temp formation")
+	}
+	if pool.PinnedCount() != 0 {
+		t.Fatalf("leaked pins: %d", pool.PinnedCount())
+	}
+}

@@ -1,0 +1,319 @@
+package pql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Query is a parsed retrieve statement.
+type Query struct {
+	Targets []Target
+	Where   Expr // nil when absent
+}
+
+// Target is one entry of the target list: rel.attr or rel.all.
+type Target struct {
+	Rel  string
+	Attr string // "all" expands to every attribute
+}
+
+// All reports whether the target is rel.all.
+func (t Target) All() bool { return strings.EqualFold(t.Attr, "all") }
+
+// Expr is a boolean where-clause expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// BinBool combines two boolean expressions with and/or.
+type BinBool struct {
+	Op   string // "and" | "or"
+	L, R Expr
+}
+
+func (*BinBool) exprNode() {}
+
+func (b *BinBool) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Not negates a boolean expression.
+type Not struct {
+	E Expr
+}
+
+func (*Not) exprNode() {}
+
+func (n *Not) String() string { return fmt.Sprintf("not %s", n.E) }
+
+// Compare is a comparison between two operands.
+type Compare struct {
+	Op   string // = != < <= > >=
+	L, R Operand
+}
+
+func (*Compare) exprNode() {}
+
+func (c *Compare) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// Operand is a column reference or a constant.
+type Operand struct {
+	// Column reference (Rel non-empty) …
+	Rel  string
+	Attr string
+	// … or constant (exactly one of these meaningful when Rel == "").
+	IsStr bool
+	Str   string
+	Num   int64
+}
+
+// Column reports whether the operand is a column reference.
+func (o Operand) Column() bool { return o.Rel != "" }
+
+func (o Operand) String() string {
+	if o.Column() {
+		return o.Rel + "." + o.Attr
+	}
+	if o.IsStr {
+		return strconv.Quote(o.Str)
+	}
+	return strconv.FormatInt(o.Num, 10)
+}
+
+// Relations returns the distinct relation names a query references, in
+// first-appearance order.
+func (q *Query) Relations() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, t := range q.Targets {
+		add(t.Rel)
+	}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *BinBool:
+			walk(v.L)
+			walk(v.R)
+		case *Not:
+			walk(v.E)
+		case *Compare:
+			if v.L.Column() {
+				add(v.L.Rel)
+			}
+			if v.R.Column() {
+				add(v.R.Rel)
+			}
+		}
+	}
+	if q.Where != nil {
+		walk(q.Where)
+	}
+	return out
+}
+
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("retrieve (")
+	for i, t := range q.Targets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Rel + "." + t.Attr)
+	}
+	b.WriteString(")")
+	if q.Where != nil {
+		b.WriteString(" where " + q.Where.String())
+	}
+	return b.String()
+}
+
+// Parse parses a retrieve statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("pql: trailing input at %s", p.peek())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("pql: expected %s, got %s", what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) query() (*Query, error) {
+	if !isKeyword(p.next(), "retrieve") {
+		return nil, fmt.Errorf("pql: query must start with 'retrieve'")
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		tgt, err := p.target()
+		if err != nil {
+			return nil, err
+		}
+		q.Targets = append(q.Targets, tgt)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if isKeyword(p.peek(), "where") {
+		p.next()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	return q, nil
+}
+
+func (p *parser) target() (Target, error) {
+	rel, err := p.expect(tokIdent, "relation name")
+	if err != nil {
+		return Target{}, err
+	}
+	if _, err := p.expect(tokDot, "'.'"); err != nil {
+		return Target{}, err
+	}
+	attr, err := p.expect(tokIdent, "attribute name")
+	if err != nil {
+		return Target{}, err
+	}
+	return Target{Rel: rel.text, Attr: attr.text}, nil
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for isKeyword(p.peek(), "or") {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinBool{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for isKeyword(p.peek(), "and") {
+		p.next()
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinBool{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	if isKeyword(p.peek(), "not") {
+		p.next()
+		e, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: e}, nil
+	}
+	if p.peek().kind == tokLParen {
+		p.next()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	l, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &Compare{Op: op.text, L: l, R: r}, nil
+}
+
+func (p *parser) operand() (Operand, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		if _, err := p.expect(tokDot, "'.' after relation name"); err != nil {
+			return Operand{}, err
+		}
+		attr, err := p.expect(tokIdent, "attribute name")
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Rel: t.text, Attr: attr.text}, nil
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Operand{}, fmt.Errorf("pql: bad number %q", t.text)
+		}
+		return Operand{Num: n}, nil
+	case tokString:
+		return Operand{IsStr: true, Str: t.text}, nil
+	default:
+		return Operand{}, fmt.Errorf("pql: expected operand, got %s", t)
+	}
+}

@@ -1,0 +1,479 @@
+package pql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"corep/internal/catalog"
+	"corep/internal/storage"
+	"corep/internal/tuple"
+)
+
+// Result is a materialized query result.
+type Result struct {
+	Schema *tuple.Schema
+	Tuples []tuple.Tuple
+	// Sources identifies, for single-relation queries, the base tuple
+	// each result row came from: (relation id, key). Callers that cache
+	// query results use these to place invalidation locks. Empty for
+	// joins.
+	Sources []Source
+}
+
+// Source names the base tuple a result row was derived from.
+type Source struct {
+	RelID uint16
+	Key   int64
+}
+
+// ErrExec reports query execution failures (unknown relations or
+// attributes, type mismatches, unsupported shapes).
+var ErrExec = errors.New("pql: execution error")
+
+// Execute runs a parsed query against cat and materializes the result.
+// Supported shapes — which cover the paper's procedural attributes — are
+// single-relation selections and two-relation joins.
+func Execute(cat *catalog.Catalog, q *Query) (*Result, error) {
+	rels := q.Relations()
+	switch len(rels) {
+	case 0:
+		return nil, fmt.Errorf("%w: query references no relations", ErrExec)
+	case 1:
+		return execSingle(cat, q, rels[0])
+	case 2:
+		return execJoin(cat, q, rels[0], rels[1])
+	default:
+		return nil, fmt.Errorf("%w: %d-relation queries not supported", ErrExec, len(rels))
+	}
+}
+
+// Run parses and executes src in one step — the call sites that evaluate
+// stored procedural attributes use this.
+func Run(cat *catalog.Catalog, src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(cat, q)
+}
+
+// outSchema builds the result schema from the target list. Attributes
+// are named rel.attr so join results stay unambiguous.
+func outSchema(cat *catalog.Catalog, targets []Target) (*tuple.Schema, []Operand, error) {
+	var fields []tuple.Field
+	var cols []Operand
+	for _, t := range targets {
+		rel, err := cat.Get(t.Rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if t.All() {
+			for _, f := range rel.Schema.Fields {
+				fields = append(fields, tuple.Field{Name: t.Rel + "." + f.Name, Kind: f.Kind, Width: f.Width})
+				cols = append(cols, Operand{Rel: t.Rel, Attr: f.Name})
+			}
+			continue
+		}
+		i := rel.Schema.Index(t.Attr)
+		if i < 0 {
+			return nil, nil, fmt.Errorf("%w: relation %q has no attribute %q", ErrExec, t.Rel, t.Attr)
+		}
+		f := rel.Schema.Fields[i]
+		fields = append(fields, tuple.Field{Name: t.Rel + "." + f.Name, Kind: f.Kind, Width: f.Width})
+		cols = append(cols, Operand{Rel: t.Rel, Attr: t.Attr})
+	}
+	return tuple.NewSchema(fields...), cols, nil
+}
+
+// ResultSchema returns the schema a query's result will have, without
+// executing it. Callers that cache materialized results use it to
+// decode cached rows.
+func ResultSchema(cat *catalog.Catalog, q *Query) (*tuple.Schema, error) {
+	s, _, err := outSchema(cat, q.Targets)
+	return s, err
+}
+
+// env binds relation names to the current tuple during evaluation.
+type env map[string]tuple.Tuple
+
+// resolve returns the value of an operand under the current bindings.
+func resolve(cat *catalog.Catalog, o Operand, e env) (tuple.Value, error) {
+	if !o.Column() {
+		if o.IsStr {
+			return tuple.StrVal(o.Str), nil
+		}
+		return tuple.IntVal(o.Num), nil
+	}
+	t, ok := e[o.Rel]
+	if !ok {
+		return tuple.Value{}, fmt.Errorf("%w: relation %q not bound", ErrExec, o.Rel)
+	}
+	rel, err := cat.Get(o.Rel)
+	if err != nil {
+		return tuple.Value{}, err
+	}
+	i := rel.Schema.Index(o.Attr)
+	if i < 0 {
+		return tuple.Value{}, fmt.Errorf("%w: relation %q has no attribute %q", ErrExec, o.Rel, o.Attr)
+	}
+	return t[i], nil
+}
+
+// eval evaluates a boolean expression under bindings e.
+func eval(cat *catalog.Catalog, x Expr, e env) (bool, error) {
+	switch v := x.(type) {
+	case *BinBool:
+		l, err := eval(cat, v.L, e)
+		if err != nil {
+			return false, err
+		}
+		// No short-circuit surprises needed; both sides are side-effect
+		// free, but avoid evaluating R when L decides.
+		if v.Op == "and" && !l {
+			return false, nil
+		}
+		if v.Op == "or" && l {
+			return true, nil
+		}
+		return eval(cat, v.R, e)
+	case *Not:
+		inner, err := eval(cat, v.E, e)
+		if err != nil {
+			return false, err
+		}
+		return !inner, nil
+	case *Compare:
+		lv, err := resolve(cat, v.L, e)
+		if err != nil {
+			return false, err
+		}
+		rv, err := resolve(cat, v.R, e)
+		if err != nil {
+			return false, err
+		}
+		if lv.Kind != rv.Kind {
+			return false, fmt.Errorf("%w: type mismatch in %s (%v vs %v)", ErrExec, v, lv.Kind, rv.Kind)
+		}
+		c := lv.Compare(rv)
+		switch v.Op {
+		case "=":
+			return c == 0, nil
+		case "!=":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		case ">=":
+			return c >= 0, nil
+		}
+		return false, fmt.Errorf("%w: unknown operator %q", ErrExec, v.Op)
+	default:
+		return false, fmt.Errorf("%w: unknown expression node %T", ErrExec, x)
+	}
+}
+
+// scanRel iterates every tuple of a relation (B-tree or heap structured).
+func scanRel(rel *catalog.Relation, fn func(tuple.Tuple) (bool, error)) error {
+	decode := func(rec []byte) (tuple.Tuple, error) { return tuple.Decode(rel.Schema, rec) }
+	switch rel.Kind {
+	case catalog.KindBTree:
+		it, err := rel.Tree.SeekFirst()
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+		for {
+			_, payload, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			t, err := decode(payload)
+			if err != nil {
+				return err
+			}
+			cont, err := fn(t)
+			if err != nil || !cont {
+				return err
+			}
+		}
+	case catalog.KindHeap:
+		var ferr error
+		err := rel.Heap.Scan(func(_ storage.RID, rec []byte) bool {
+			t, err := decode(rec)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			cont, err := fn(t)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			return cont
+		})
+		if ferr != nil {
+			return ferr
+		}
+		return err
+	default:
+		return fmt.Errorf("%w: cannot scan %q (hash relations are key-value stores)", ErrExec, rel.Name)
+	}
+}
+
+// keyRange extracts a [lo,hi] bound on rel's key attribute (field 0)
+// from a conjunctive predicate, for B-tree range scans. Only top-level
+// conjunctions contribute; anything else returns the full range.
+func keyRange(rel *catalog.Relation, x Expr) (lo, hi int64) {
+	lo, hi = -1<<62, 1<<62
+	if len(rel.Schema.Fields) == 0 || rel.Schema.Fields[0].Kind != tuple.KInt {
+		return lo, hi
+	}
+	keyAttr := rel.Schema.Fields[0].Name
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *BinBool:
+			if v.Op == "and" {
+				walk(v.L)
+				walk(v.R)
+			}
+		case *Compare:
+			col, cst, op := v.L, v.R, v.Op
+			if !col.Column() && cst.Column() {
+				col, cst = cst, col
+				// Mirror the operator when the column is on the right.
+				switch op {
+				case "<":
+					op = ">"
+				case "<=":
+					op = ">="
+				case ">":
+					op = "<"
+				case ">=":
+					op = "<="
+				}
+			}
+			if !col.Column() || cst.Column() || cst.IsStr {
+				return
+			}
+			if col.Rel != rel.Name || col.Attr != keyAttr {
+				return
+			}
+			switch op {
+			case "=":
+				if cst.Num > lo {
+					lo = cst.Num
+				}
+				if cst.Num < hi {
+					hi = cst.Num
+				}
+			case "<":
+				if cst.Num-1 < hi {
+					hi = cst.Num - 1
+				}
+			case "<=":
+				if cst.Num < hi {
+					hi = cst.Num
+				}
+			case ">":
+				if cst.Num+1 > lo {
+					lo = cst.Num + 1
+				}
+			case ">=":
+				if cst.Num > lo {
+					lo = cst.Num
+				}
+			}
+		}
+	}
+	walk(x)
+	return lo, hi
+}
+
+func project(cat *catalog.Catalog, cols []Operand, e env) (tuple.Tuple, error) {
+	out := make(tuple.Tuple, len(cols))
+	for i, c := range cols {
+		v, err := resolve(cat, c, e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func execSingle(cat *catalog.Catalog, q *Query, relName string) (*Result, error) {
+	rel, err := cat.Get(relName)
+	if err != nil {
+		return nil, err
+	}
+	schema, cols, err := outSchema(cat, q.Targets)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Schema: schema}
+	keyed := len(rel.Schema.Fields) > 0 && rel.Schema.Fields[0].Kind == tuple.KInt
+	emit := func(t tuple.Tuple) (bool, error) {
+		e := env{relName: t}
+		if q.Where != nil {
+			ok, err := eval(cat, q.Where, e)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return true, nil
+			}
+		}
+		row, err := project(cat, cols, e)
+		if err != nil {
+			return false, err
+		}
+		res.Tuples = append(res.Tuples, row)
+		if keyed {
+			res.Sources = append(res.Sources, Source{RelID: rel.ID, Key: t[0].Int})
+		}
+		return true, nil
+	}
+	// Use a B-tree range scan when the predicate bounds the key.
+	if rel.Kind == catalog.KindBTree && q.Where != nil {
+		lo, hi := keyRange(rel, q.Where)
+		if lo > -1<<62 || hi < 1<<62 {
+			err := rel.Tree.Range(lo, hi, func(_ int64, payload []byte) (bool, error) {
+				t, err := tuple.Decode(rel.Schema, payload)
+				if err != nil {
+					return false, err
+				}
+				return emit(t)
+			})
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
+	}
+	if err := scanRel(rel, emit); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func execJoin(cat *catalog.Catalog, q *Query, outerName, innerName string) (*Result, error) {
+	outer, err := cat.Get(outerName)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := cat.Get(innerName)
+	if err != nil {
+		return nil, err
+	}
+	schema, cols, err := outSchema(cat, q.Targets)
+	if err != nil {
+		return nil, err
+	}
+	if q.Where == nil {
+		return nil, fmt.Errorf("%w: join without a where clause (cartesian products rejected)", ErrExec)
+	}
+	res := &Result{Schema: schema}
+	// Index nested loop when the join predicate equates the inner key.
+	probe := indexProbeCol(inner, outer, q.Where)
+	err = scanRel(outer, func(ot tuple.Tuple) (bool, error) {
+		e := env{outerName: ot}
+		if probe != nil {
+			key := ot[probe.outerIdx]
+			if key.Kind == tuple.KInt {
+				payload, gerr := inner.Tree.Get(key.Int)
+				if gerr != nil {
+					return true, nil // no partner
+				}
+				it, derr := tuple.Decode(inner.Schema, payload)
+				if derr != nil {
+					return false, derr
+				}
+				e[innerName] = it
+				ok, eerr := eval(cat, q.Where, e)
+				if eerr != nil {
+					return false, eerr
+				}
+				if ok {
+					row, perr := project(cat, cols, e)
+					if perr != nil {
+						return false, perr
+					}
+					res.Tuples = append(res.Tuples, row)
+				}
+				return true, nil
+			}
+		}
+		return true, scanRel(inner, func(it tuple.Tuple) (bool, error) {
+			e[innerName] = it
+			ok, err := eval(cat, q.Where, e)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				row, err := project(cat, cols, e)
+				if err != nil {
+					return false, err
+				}
+				res.Tuples = append(res.Tuples, row)
+			}
+			return true, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// probeSpec says: for each outer tuple, probe inner's B-tree with the
+// outer attribute at outerIdx.
+type probeSpec struct {
+	outerIdx int
+}
+
+// indexProbeCol detects a top-level equality inner.key = outer.attr that
+// lets the join run as an index nested loop on the inner B-tree.
+func indexProbeCol(inner, outer *catalog.Relation, x Expr) *probeSpec {
+	if inner.Kind != catalog.KindBTree || len(inner.Schema.Fields) == 0 || inner.Schema.Fields[0].Kind != tuple.KInt {
+		return nil
+	}
+	keyAttr := inner.Schema.Fields[0].Name
+	var found *probeSpec
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if found != nil {
+			return
+		}
+		switch v := e.(type) {
+		case *BinBool:
+			if v.Op == "and" {
+				walk(v.L)
+				walk(v.R)
+			}
+		case *Compare:
+			if v.Op != "=" || !v.L.Column() || !v.R.Column() {
+				return
+			}
+			a, b := v.L, v.R
+			if strings.EqualFold(a.Rel, outer.Name) {
+				a, b = b, a
+			}
+			if strings.EqualFold(a.Rel, inner.Name) && strings.EqualFold(a.Attr, keyAttr) &&
+				strings.EqualFold(b.Rel, outer.Name) {
+				if i := outer.Schema.Index(b.Attr); i >= 0 {
+					found = &probeSpec{outerIdx: i}
+				}
+			}
+		}
+	}
+	walk(x)
+	return found
+}

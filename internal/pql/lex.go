@@ -1,0 +1,122 @@
+// Package pql implements the small retrieve-only query language used by
+// the procedural representation (§2.1.1): stored attributes such as
+//
+//	retrieve (person.all) where person.age >= 60
+//	retrieve (person.name) where person.name = cyclist.name
+//
+// mirror the POSTGRES procedure attributes of the paper's example. The
+// language is a QUEL subset — retrieve with a target list, and a where
+// clause of comparisons combined with and/or.
+package pql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokOp // comparison operator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits src into tokens. Keywords stay tokIdent; the parser
+// recognizes them case-insensitively.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, token{tokOp, "!=", i})
+			i += 2
+		case c == '<' || c == '>':
+			op := string(c)
+			j := i + 1
+			if j < len(src) && src[j] == '=' {
+				op += "="
+				j++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("pql: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], i})
+			i = j + 1
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i
+			if c == '-' {
+				j++
+			}
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			if j == i || (c == '-' && j == i+1) {
+				return nil, fmt.Errorf("pql: bad number at %d", i)
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '#') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("pql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,184 @@
+package strategy
+
+import (
+	"sort"
+
+	"corep/internal/catalog"
+	"corep/internal/object"
+	"corep/internal/query"
+	"corep/internal/tuple"
+	"corep/internal/workload"
+)
+
+// bfs is the breadth-first strategy (§3.1 [2]): collect the OIDs of the
+// qualifying parents into a temporary relation, then join it with
+// ChildRel. "The optimal joining strategy in this query depends on the
+// sizes of the relations involved. Iterative substitution is best when
+// temp is small … merge-join is the optimal strategy when the size of
+// the temporary is large." With dedup set, duplicates are eliminated
+// before the join (BFSNODUP, §3.1 [3]).
+//
+// With NumChildRel > 1 the strategy keeps one temporary per child
+// relation and runs one join each (§6.2).
+type bfs struct {
+	dedup bool
+}
+
+func (b bfs) Kind() Kind {
+	if b.dedup {
+		return BFSNODUP
+	}
+	return BFS
+}
+
+// tempValuesPerPage estimates how many 8-byte OIDs fit one heap page
+// (8 data + 4 slot bytes each, 24-byte header).
+const tempValuesPerPage = (2048 - 24) / 12
+
+// sortPassFactor estimates external-sort I/O as a multiple of the temp's
+// pages (read input, write runs, read runs during the merge).
+const sortPassFactor = 3
+
+func (b bfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
+	par := beginIO(db)
+	parents, err := scanParents(db, q.Lo, q.Hi)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	res.Split.Par = par.end()
+
+	child := beginIO(db)
+	defer func() { res.Split.Child = child.end() }()
+
+	// Form one temporary per child relation, paying heap-file writes.
+	temps := make(map[uint16]*query.Int64Temp)
+	var relOrder []uint16
+	for _, p := range parents {
+		for _, oid := range p.unit {
+			tmp := temps[oid.Rel()]
+			if tmp == nil {
+				tmp, err = query.NewInt64Temp(db.Pool)
+				if err != nil {
+					return nil, err
+				}
+				temps[oid.Rel()] = tmp
+				relOrder = append(relOrder, oid.Rel())
+			}
+			if err := tmp.Append(oid.Key()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Keep relation order deterministic.
+	sort.Slice(relOrder, func(i, j int) bool { return relOrder[i] < relOrder[j] })
+
+	for _, relID := range relOrder {
+		tmp := temps[relID]
+		rel, err := db.ChildByRelID(relID)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.joinOne(db, rel, tmp, q.AttrIdx, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// joinOne joins one temporary against one child relation, choosing the
+// join method by an I/O estimate.
+func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Temp, attrIdx int, res *Result) error {
+	n := tmp.Count()
+	if n == 0 {
+		return nil
+	}
+	if b.dedup {
+		// BFSNODUP: "eliminate the duplicates before executing the above
+		// query" — sort the temp and keep distinct OIDs, then join with
+		// whichever method the (smaller) deduplicated temp favours.
+		sorted, err := query.SortTemp(db.Pool, tmp, tempValuesPerPage*8)
+		if err != nil {
+			return err
+		}
+		distinct, err := query.NewInt64Temp(db.Pool)
+		if err != nil {
+			return err
+		}
+		uniq := query.NewDistinct(sorted.Iter())
+		for {
+			v, ok, err := uniq.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := distinct.Append(v); err != nil {
+				return err
+			}
+		}
+		tmp = distinct
+		n = tmp.Count()
+	}
+	tempPages := (n + tempValuesPerPage - 1) / tempValuesPerPage
+	probeCost := int64(n) * int64(rel.Tree.Height())
+	mergeCost := int64(sortPassFactor*tempPages) + int64(rel.Tree.LeafPages())
+
+	if probeCost <= mergeCost {
+		// Iterative substitution: "subobjects are fetched exactly as in
+		// DFS" — per-key probes driven by the temp.
+		return tmp.Scan(func(key int64) (bool, error) {
+			rec, err := rel.Tree.Get(key)
+			if err != nil {
+				return false, err
+			}
+			v, err := tuple.DecodeField(db.ChildSchema, rec, attrIdx)
+			if err != nil {
+				return false, err
+			}
+			res.Values = append(res.Values, v.Int)
+			return true, nil
+		})
+	}
+
+	// Competitive BFS: sort the temp (already sorted and deduplicated
+	// under BFSNODUP) and merge join with the ChildRel leaf scan.
+	outerTemp := tmp
+	if !b.dedup {
+		sorted, err := query.SortTemp(db.Pool, tmp, tempValuesPerPage*8)
+		if err != nil {
+			return err
+		}
+		outerTemp = sorted
+	}
+	it, err := rel.Tree.SeekFirst()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	return query.MergeJoin(outerTemp.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
+		v, err := tuple.DecodeField(db.ChildSchema, payload, attrIdx)
+		if err != nil {
+			return false, err
+		}
+		res.Values = append(res.Values, v.Int)
+		return true, nil
+	})
+}
+
+func (bfs) Update(db *workload.DB, op workload.Op) error {
+	return db.ApplyUpdateBase(op)
+}
+
+// oidKeys is a small helper used by tests: the keys of a unit restricted
+// to one relation.
+func oidKeys(unit []object.OID, relID uint16) []int64 {
+	var out []int64
+	for _, o := range unit {
+		if o.Rel() == relID {
+			out = append(out, o.Key())
+		}
+	}
+	return out
+}

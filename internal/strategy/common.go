@@ -1,0 +1,135 @@
+package strategy
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"corep/internal/btree"
+	"corep/internal/object"
+	"corep/internal/tuple"
+	"corep/internal/workload"
+)
+
+// parentRef is one qualifying ParentRel tuple: its key and its unit.
+type parentRef struct {
+	key  int64
+	unit []object.OID
+}
+
+// scanParents range-scans ParentRel for lo ≤ key ≤ hi and decodes each
+// qualifying tuple's children attribute.
+func scanParents(db *workload.DB, lo, hi int64) ([]parentRef, error) {
+	childIdx := db.ParentSchema.MustIndex("children")
+	var out []parentRef
+	err := db.Parent.Tree.Range(lo, hi, func(key int64, payload []byte) (bool, error) {
+		v, err := tuple.DecodeField(db.ParentSchema, payload, childIdx)
+		if err != nil {
+			return false, err
+		}
+		oids, err := object.DecodeOIDs(v.Raw)
+		if err != nil {
+			return false, err
+		}
+		out = append(out, parentRef{key: key, unit: oids})
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fetchChildAttr probes the child relation for oid and projects the
+// query attribute — the per-subobject step of every depth-first
+// strategy.
+func fetchChildAttr(db *workload.DB, oid object.OID, attrIdx int) (int64, error) {
+	rel, err := db.ChildByRelID(oid.Rel())
+	if err != nil {
+		return 0, err
+	}
+	rec, err := rel.Tree.Get(oid.Key())
+	if err != nil {
+		return 0, fmt.Errorf("strategy: subobject %v: %w", oid, err)
+	}
+	v, err := tuple.DecodeField(db.ChildSchema, rec, attrIdx)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// ioSpan measures the disk I/O of a code span.
+type ioSpan struct {
+	db    *workload.DB
+	start int64
+}
+
+func beginIO(db *workload.DB) ioSpan {
+	return ioSpan{db: db, start: db.Disk.Stats().Total()}
+}
+
+func (s ioSpan) end() int64 {
+	return s.db.Disk.Stats().Total() - s.start
+}
+
+// treeKeyedIter adapts a btree iterator to query.KeyedIter for merge
+// joins.
+type treeKeyedIter struct{ it *btree.Iterator }
+
+func (t treeKeyedIter) Next() (int64, []byte, bool, error) { return t.it.Next() }
+
+// --- cached-unit value codec ---
+//
+// A cached unit's value is the concatenation of its members' ChildRel
+// records, each length-prefixed, in unit order. "Basically, the 'value'
+// ... of a subobject is stored with the referencing object" — here with
+// the unit (§2.3).
+
+// encodeUnitValue frames member records into one cache value.
+func encodeUnitValue(recs [][]byte) []byte {
+	n := 0
+	for _, r := range recs {
+		n += 2 + len(r)
+	}
+	out := make([]byte, 0, n)
+	for _, r := range recs {
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(r)))
+		out = append(out, l[:]...)
+		out = append(out, r...)
+	}
+	return out
+}
+
+// decodeUnitValue yields each framed member record. The callback's rec
+// aliases value.
+func decodeUnitValue(value []byte, fn func(rec []byte) error) error {
+	for len(value) > 0 {
+		if len(value) < 2 {
+			return fmt.Errorf("strategy: truncated unit value")
+		}
+		l := int(binary.LittleEndian.Uint16(value))
+		value = value[2:]
+		if len(value) < l {
+			return fmt.Errorf("strategy: truncated unit member record")
+		}
+		if err := fn(value[:l]); err != nil {
+			return err
+		}
+		value = value[l:]
+	}
+	return nil
+}
+
+// projectUnitValue extracts the query attribute from every member record
+// of a cached unit value.
+func projectUnitValue(db *workload.DB, value []byte, attrIdx int, out *[]int64) error {
+	return decodeUnitValue(value, func(rec []byte) error {
+		v, err := tuple.DecodeField(db.ChildSchema, rec, attrIdx)
+		if err != nil {
+			return err
+		}
+		*out = append(*out, v.Int)
+		return nil
+	})
+}

@@ -1,0 +1,99 @@
+package strategy
+
+import (
+	"testing"
+
+	"corep/internal/workload"
+)
+
+func buildTwoLevel(t *testing.T, cfg workload.TwoLevelConfig) *workload.TwoLevelDB {
+	t.Helper()
+	db, err := workload.BuildTwoLevel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestDeepStrategiesAgree(t *testing.T) {
+	db := buildTwoLevel(t, workload.TwoLevelConfig{
+		Config: workload.Config{NumParents: 200, SizeUnit: 3, UseFactor: 2, Seed: 17},
+	})
+	queries := []Query{
+		{Lo: 0, Hi: 0, AttrIdx: workload.FieldRet1},
+		{Lo: 10, Hi: 39, AttrIdx: workload.FieldRet2},
+		{Lo: 0, Hi: 199, AttrIdx: workload.FieldRet3},
+	}
+	for _, q := range queries {
+		ref, err := DeepRetrieve(db, DFS, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each parent contributes SizeUnit mids × SizeUnit leaves.
+		if want := q.NumTop() * 3 * 3; len(ref.Values) != want {
+			t.Fatalf("DFS returned %d values, want %d", len(ref.Values), want)
+		}
+		bfs, err := DeepRetrieve(db, BFS, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalSlices(sortedCopy(bfs.Values), sortedCopy(ref.Values)) {
+			t.Fatalf("deep BFS disagrees with deep DFS on %+v", q)
+		}
+		nd, err := DeepRetrieve(db, BFSNODUP, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// NODUP eliminates duplicates level-wise; its distinct values
+		// must equal the distinct values of the full answer.
+		if !equalSlices(dedup(nd.Values), dedup(ref.Values)) {
+			t.Fatalf("deep BFSNODUP set differs on %+v", q)
+		}
+	}
+}
+
+func TestDeepUnsupportedKinds(t *testing.T) {
+	db := buildTwoLevel(t, workload.TwoLevelConfig{
+		Config: workload.Config{NumParents: 100, SizeUnit: 2, UseFactor: 2, Seed: 3},
+	})
+	for _, k := range []Kind{DFSCACHE, DFSCLUST, SMART} {
+		if _, err := DeepRetrieve(db, k, Query{Lo: 0, Hi: 5, AttrIdx: 1}); err == nil {
+			t.Fatalf("%v accepted for deep retrieval", k)
+		}
+	}
+}
+
+func TestDeepNoDupActuallyDedups(t *testing.T) {
+	// With heavy sharing at both levels, NODUP must fetch far fewer
+	// leaves than BFS touches.
+	db := buildTwoLevel(t, workload.TwoLevelConfig{
+		Config:        workload.Config{NumParents: 400, SizeUnit: 4, UseFactor: 4, Seed: 5},
+		LeafUseFactor: 4,
+	})
+	q := Query{Lo: 0, Hi: 199, AttrIdx: workload.FieldRet1}
+	full, err := DeepRetrieve(db, BFS, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := DeepRetrieve(db, BFSNODUP, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nd.Values) >= len(full.Values) {
+		t.Fatalf("NODUP kept %d of %d values", len(nd.Values), len(full.Values))
+	}
+}
+
+func TestDeepPinHygiene(t *testing.T) {
+	db := buildTwoLevel(t, workload.TwoLevelConfig{
+		Config: workload.Config{NumParents: 150, SizeUnit: 3, UseFactor: 3, Seed: 9},
+	})
+	for _, k := range []Kind{DFS, BFS, BFSNODUP} {
+		if _, err := DeepRetrieve(db, k, Query{Lo: 5, Hi: 80, AttrIdx: workload.FieldRet2}); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if n := db.Pool.PinnedCount(); n != 0 {
+			t.Fatalf("%v leaked %d pins", k, n)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package strategy
+
+import (
+	"corep/internal/workload"
+)
+
+// dfs is the plain depth-first strategy (§3.1 [1]): "For each OID of
+// 'elders', fetch the corresponding subobject from the relation person,
+// and return its name." It is an index nested-loop join between
+// ParentRel and ChildRel, so its child cost grows linearly with NumTop.
+type dfs struct{}
+
+func (dfs) Kind() Kind { return DFS }
+
+func (dfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
+	par := beginIO(db)
+	parents, err := scanParents(db, q.Lo, q.Hi)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	res.Split.Par = par.end()
+
+	child := beginIO(db)
+	for _, p := range parents {
+		for _, oid := range p.unit {
+			v, err := fetchChildAttr(db, oid, q.AttrIdx)
+			if err != nil {
+				return nil, err
+			}
+			res.Values = append(res.Values, v)
+		}
+	}
+	res.Split.Child = child.end()
+	return res, nil
+}
+
+func (dfs) Update(db *workload.DB, op workload.Op) error {
+	return db.ApplyUpdateBase(op)
+}

@@ -1,0 +1,102 @@
+package strategy
+
+import (
+	"corep/internal/object"
+	"corep/internal/workload"
+)
+
+// dfscache is depth-first search in the presence of caching (§3.2):
+// "Check if the value of the subobjects of 'elders' is cached. If so,
+// fetch the attribute name from the cache. Otherwise, fetch the
+// subobjects from the person relation (this is called materialization),
+// cache their values, and return the attribute name."
+//
+// The strategy maintains the cache: freshly materialized units are
+// inserted (outside caching — shared across every parent referencing
+// the unit), and updates invalidate via I-locks.
+//
+// With inside set, the cache key is salted with the referencing parent's
+// OID, so each parent owns a private entry and nothing is shared —
+// inside caching (§2.3), kept as an ablation.
+type dfscache struct {
+	inside bool
+}
+
+func (c dfscache) Kind() Kind {
+	if c.inside {
+		return DFSCACHEINSIDE
+	}
+	return DFSCACHE
+}
+
+// cacheUnit derives the caching key material for a parent's unit.
+func (c dfscache) cacheUnit(db *workload.DB, p parentRef) object.Unit {
+	if !c.inside {
+		return object.Unit(p.unit)
+	}
+	salted := make(object.Unit, 0, len(p.unit)+1)
+	salted = append(salted, object.NewOID(db.Parent.ID, p.key))
+	return append(salted, p.unit...)
+}
+
+func (c dfscache) Retrieve(db *workload.DB, q Query) (*Result, error) {
+	par := beginIO(db)
+	parents, err := scanParents(db, q.Lo, q.Hi)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	res.Split.Par = par.end()
+
+	child := beginIO(db)
+	for _, p := range parents {
+		unit := p.unit
+		key := c.cacheUnit(db, p)
+		value, ok, err := db.Cache.Lookup(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if err := projectUnitValue(db, value, q.AttrIdx, &res.Values); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Materialize the unit, answer from it, and cache it.
+		recs := make([][]byte, 0, len(unit))
+		for _, oid := range unit {
+			rel, err := db.ChildByRelID(oid.Rel())
+			if err != nil {
+				return nil, err
+			}
+			rec, err := rel.Tree.Get(oid.Key())
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, rec)
+		}
+		value = encodeUnitValue(recs)
+		if err := projectUnitValue(db, value, q.AttrIdx, &res.Values); err != nil {
+			return nil, err
+		}
+		if err := db.Cache.Insert(key, value); err != nil {
+			return nil, err
+		}
+	}
+	res.Split.Child = child.end()
+	return res, nil
+}
+
+func (dfscache) Update(db *workload.DB, op workload.Op) error {
+	if err := db.ApplyUpdateBase(op); err != nil {
+		return err
+	}
+	// I-lock invalidation: every cached unit containing an updated
+	// subobject is dropped, paying hash-file deletes.
+	for _, oid := range op.Targets {
+		if _, err := db.Cache.Invalidate(oid); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package strategy
+
+import (
+	"fmt"
+
+	"corep/internal/object"
+	"corep/internal/tuple"
+	"corep/internal/workload"
+)
+
+// dfsclust is depth-first search in the presence of clustering (§3.3):
+// the qualifying range of ClusterRel is scanned by cluster#. Rows with
+// the same cluster# form one physical group — a parent followed by the
+// subobjects clustered with it — so a parent's home subobjects cost no
+// extra I/O. Subobjects living elsewhere are fetched, as each group
+// completes, with a random access through the static ISAM index on
+// ClusterRel.OID; whether that access really hits the disk is the
+// buffer pool's honest decision (nearby groups are still buffered,
+// distant ones are not).
+//
+// The scan cost grows as clustering approaches ideal (more child tuples
+// ride inside the parent range — the ParCost increase of Figure 5a),
+// while the random accesses shrink; with OverlapFactor > 1 units
+// fragment and the random accesses multiply (Figure 7).
+type dfsclust struct{}
+
+func (dfsclust) Kind() Kind { return DFSCLUST }
+
+func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
+	parentRelID := db.Parent.ID
+	oidIdx := db.ClusterSchema.MustIndex("OID")
+	childrenIdx := db.ClusterSchema.MustIndex("children")
+	// In ClusterSchema the ret fields sit one position later than in
+	// ChildSchema (cluster# occupies field 0).
+	attrIdx := q.AttrIdx + 1
+
+	res := &Result{}
+	var scanIO, fetchIO int64
+
+	// One cluster# group: the parent's unit and the locally clustered
+	// subobject values.
+	var (
+		unit   []object.OID
+		local  = map[object.OID]int64{}
+		hasPar = false
+		curKey = int64(-1)
+	)
+	// resolve answers the current group, charging index/data fetches to
+	// ChildCost.
+	resolve := func() error {
+		if !hasPar {
+			return nil
+		}
+		span := beginIO(db)
+		for _, oid := range unit {
+			if v, ok := local[oid]; ok {
+				res.Values = append(res.Values, v)
+				continue
+			}
+			rid, err := db.ClusterRel.Index.Probe(int64(oid))
+			if err != nil {
+				return fmt.Errorf("strategy: clustered subobject %v: %w", oid, err)
+			}
+			_, payload, err := db.ClusterRel.Tree.GetAt(rid)
+			if err != nil {
+				return err
+			}
+			av, err := tuple.DecodeField(db.ClusterSchema, payload, attrIdx)
+			if err != nil {
+				return err
+			}
+			res.Values = append(res.Values, av.Int)
+		}
+		fetchIO += span.end()
+		return nil
+	}
+
+	scanSpan := beginIO(db)
+	err := db.ClusterRel.Tree.Range(q.Lo, q.Hi, func(key int64, payload []byte) (bool, error) {
+		if key != curKey {
+			scanIO += scanSpan.end()
+			if err := resolve(); err != nil {
+				return false, err
+			}
+			unit, hasPar = nil, false
+			local = map[object.OID]int64{}
+			curKey = key
+			scanSpan = beginIO(db)
+		}
+		ov, err := tuple.DecodeField(db.ClusterSchema, payload, oidIdx)
+		if err != nil {
+			return false, err
+		}
+		oid := object.OID(ov.Int)
+		if oid.Rel() == parentRelID {
+			cv, err := tuple.DecodeField(db.ClusterSchema, payload, childrenIdx)
+			if err != nil {
+				return false, err
+			}
+			oids, err := object.DecodeOIDs(cv.Raw)
+			if err != nil {
+				return false, err
+			}
+			unit = oids
+			hasPar = true
+			return true, nil
+		}
+		av, err := tuple.DecodeField(db.ClusterSchema, payload, attrIdx)
+		if err != nil {
+			return false, err
+		}
+		local[oid] = av.Int
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	scanIO += scanSpan.end()
+	if err := resolve(); err != nil {
+		return nil, err
+	}
+	res.Split.Par = scanIO
+	res.Split.Child = fetchIO
+	return res, nil
+}
+
+func (dfsclust) Update(db *workload.DB, op workload.Op) error {
+	return db.ApplyUpdateCluster(op)
+}

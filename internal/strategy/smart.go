@@ -1,0 +1,104 @@
+package strategy
+
+import (
+	"sort"
+
+	"corep/internal/query"
+	"corep/internal/tuple"
+	"corep/internal/workload"
+)
+
+// smart is the hybrid of §5.3: "When the query has a low NumTop, use
+// DFSCACHE, and maintain the cache. However, if NumTop > N …, use a
+// breadth-first strategy, and do not try to maintain cache. In other
+// words, scan the NumTop tuples and collect into temp the OID's whose
+// units are not cached; and then implement the merge-join. The status of
+// the cache remains invariant during the execution of the breadth-first
+// strategy."
+type smart struct {
+	threshold int // N
+}
+
+func (smart) Kind() Kind { return SMART }
+
+func (s smart) Retrieve(db *workload.DB, q Query) (*Result, error) {
+	if q.NumTop() <= s.threshold {
+		return dfscache{}.Retrieve(db, q)
+	}
+
+	par := beginIO(db)
+	parents, err := scanParents(db, q.Lo, q.Hi)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	res.Split.Par = par.end()
+
+	child := beginIO(db)
+	// Cached units answer depth-first (one hash probe each); the rest
+	// feed per-relation temporaries for merge joins.
+	temps := make(map[uint16]*query.Int64Temp)
+	var relOrder []uint16
+	for _, p := range parents {
+		unit := p.unit
+		if db.Cache.IsCached(unit) {
+			value, ok, err := db.Cache.Lookup(unit)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if err := projectUnitValue(db, value, q.AttrIdx, &res.Values); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		for _, oid := range unit {
+			tmp := temps[oid.Rel()]
+			if tmp == nil {
+				tmp, err = query.NewInt64Temp(db.Pool)
+				if err != nil {
+					return nil, err
+				}
+				temps[oid.Rel()] = tmp
+				relOrder = append(relOrder, oid.Rel())
+			}
+			if err := tmp.Append(oid.Key()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(relOrder, func(i, j int) bool { return relOrder[i] < relOrder[j] })
+	for _, relID := range relOrder {
+		rel, err := db.ChildByRelID(relID)
+		if err != nil {
+			return nil, err
+		}
+		sorted, err := query.SortTemp(db.Pool, temps[relID], tempValuesPerPage*8)
+		if err != nil {
+			return nil, err
+		}
+		it, err := rel.Tree.SeekFirst()
+		if err != nil {
+			return nil, err
+		}
+		err = query.MergeJoin(sorted.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
+			v, err := tuple.DecodeField(db.ChildSchema, payload, q.AttrIdx)
+			if err != nil {
+				return false, err
+			}
+			res.Values = append(res.Values, v.Int)
+			return true, nil
+		})
+		it.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Split.Child = child.end()
+	return res, nil
+}
+
+func (smart) Update(db *workload.DB, op workload.Op) error {
+	return dfscache{}.Update(db, op)
+}

@@ -1,0 +1,464 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"corep/internal/buffer"
+	"corep/internal/cache"
+	"corep/internal/catalog"
+	"corep/internal/cluster"
+	"corep/internal/disk"
+	"corep/internal/isam"
+	"corep/internal/object"
+	"corep/internal/storage"
+	"corep/internal/tuple"
+)
+
+// Field indices shared by ParentRel and ChildRel (after the key):
+// ret1=1, ret2=2, ret3=3 — "Ret1, ret2 and ret3 are integer fields and
+// occur in the target lists of the retrieve queries" (§4).
+const (
+	FieldRet1 = 1
+	FieldRet2 = 2
+	FieldRet3 = 3
+)
+
+// DB is one generated database instance: the relations, the generation
+// bookkeeping the strategies need (units, assignments), and the
+// simulated hardware underneath.
+type DB struct {
+	Cfg  Config
+	Disk *disk.Sim
+	Pool *buffer.Pool
+	Cat  *catalog.Catalog
+
+	Parent   *catalog.Relation
+	Children []*catalog.Relation
+
+	// ClusterRel is built when Cfg.Clustered: one relation holding both
+	// objects and subobjects, B-tree on cluster#, ISAM index on OID (§4).
+	ClusterRel *catalog.Relation
+
+	// Cache is the outside value cache, built when Cfg.CacheUnits > 0.
+	Cache *cache.Cache
+
+	ParentSchema  *tuple.Schema
+	ChildSchema   *tuple.Schema
+	ClusterSchema *tuple.Schema
+
+	// Units[i] is unit i's subobject OIDs; UnitUsers[i] the parent keys
+	// referencing it; ParentUnit[p] the unit of parent key p.
+	Units      []object.Unit
+	UnitUsers  [][]int64
+	ParentUnit []int
+
+	// Assignment is the clustering assignment (when Clustered).
+	Assignment *cluster.Assignment
+
+	childByRelID map[uint16]*catalog.Relation
+	childCount   map[uint16]int
+	rng          *rand.Rand
+}
+
+// Build generates a database per cfg. The buffer pool is flushed and
+// invalidated afterwards, and disk counters reset, so measurements start
+// cold and load I/O is not charged to queries.
+func Build(cfg Config) (*DB, error) {
+	db, err := newSkeleton(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = db.Cfg
+
+	if err := db.buildChildren(); err != nil {
+		return nil, err
+	}
+	if err := db.buildUnitsAndParents(); err != nil {
+		return nil, err
+	}
+	if cfg.Clustered {
+		if err := db.buildCluster(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.CacheUnits > 0 {
+		c, err := cache.New(db.Pool, cfg.CacheUnits, cfg.CacheBuckets, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		db.Cache = c
+	}
+	if err := db.ResetCold(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// newSkeleton creates the empty database: simulated hardware, catalog,
+// schemas, generator state. Build and BuildTwoLevel load it.
+func newSkeleton(cfg Config) (*DB, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := disk.NewSim()
+	pool := buffer.NewWithPolicy(d, cfg.PoolPages, buffer.Policy(cfg.PoolPolicy))
+	db := &DB{
+		Cfg:          cfg,
+		Disk:         d,
+		Pool:         pool,
+		Cat:          catalog.New(pool),
+		childByRelID: make(map[uint16]*catalog.Relation),
+		childCount:   make(map[uint16]int),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+	}
+	db.ParentSchema = tuple.NewSchema(
+		tuple.Field{Name: "OID", Kind: tuple.KInt},
+		tuple.Field{Name: "ret1", Kind: tuple.KInt},
+		tuple.Field{Name: "ret2", Kind: tuple.KInt},
+		tuple.Field{Name: "ret3", Kind: tuple.KInt},
+		tuple.Field{Name: "dummy", Kind: tuple.KString, Width: cfg.ParentBytes},
+		tuple.Field{Name: "children", Kind: tuple.KBytes},
+	)
+	db.ChildSchema = tuple.NewSchema(
+		tuple.Field{Name: "OID", Kind: tuple.KInt},
+		tuple.Field{Name: "ret1", Kind: tuple.KInt},
+		tuple.Field{Name: "ret2", Kind: tuple.KInt},
+		tuple.Field{Name: "ret3", Kind: tuple.KInt},
+		tuple.Field{Name: "dummy", Kind: tuple.KString, Width: cfg.ChildBytes},
+	)
+	db.ClusterSchema = tuple.NewSchema(
+		tuple.Field{Name: "cluster#", Kind: tuple.KInt},
+		tuple.Field{Name: "OID", Kind: tuple.KInt},
+		tuple.Field{Name: "ret1", Kind: tuple.KInt},
+		tuple.Field{Name: "ret2", Kind: tuple.KInt},
+		tuple.Field{Name: "ret3", Kind: tuple.KInt},
+		tuple.Field{Name: "dummy", Kind: tuple.KString, Width: cfg.ChildBytes},
+		tuple.Field{Name: "children", Kind: tuple.KBytes},
+	)
+
+	return db, nil
+}
+
+// ResetCold flushes and empties the buffer pool and zeroes the disk
+// counters: the next query starts from a cold, clean state.
+func (db *DB) ResetCold() error {
+	if err := db.Pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := db.Pool.Invalidate(); err != nil {
+		return err
+	}
+	db.Disk.ResetStats()
+	return nil
+}
+
+// ChildByRelID resolves a child relation from an OID's relation id.
+func (db *DB) ChildByRelID(id uint16) (*catalog.Relation, error) {
+	r, ok := db.childByRelID[id]
+	if !ok {
+		return nil, fmt.Errorf("workload: OID references unknown child relation %d", id)
+	}
+	return r, nil
+}
+
+// ChildCount returns the cardinality of the child relation with the
+// given relation id (tracked at build time so callers need no I/O).
+func (db *DB) ChildCount(id uint16) int { return db.childCount[id] }
+
+// NumUnits returns the number of distinct units.
+func (db *DB) NumUnits() int { return len(db.Units) }
+
+// UnitOf returns the unit referenced by the parent with key p.
+func (db *DB) UnitOf(p int64) object.Unit { return db.Units[db.ParentUnit[p]] }
+
+// buildChildren creates and loads the NumChildRel child relations.
+func (db *DB) buildChildren() error {
+	cfg := db.Cfg
+	numUnits := cfg.NumParents / cfg.UseFactor
+	for r := 0; r < cfg.NumChildRel; r++ {
+		unitsHere := numUnits / cfg.NumChildRel
+		if r < numUnits%cfg.NumChildRel {
+			unitsHere++
+		}
+		// Exact-overlap sizing: unitsHere×SizeUnit slots over
+		// nChild×OverlapFactor appearances.
+		nChild := (unitsHere*cfg.SizeUnit + cfg.OverlapFactor - 1) / cfg.OverlapFactor
+		if nChild < cfg.SizeUnit {
+			nChild = cfg.SizeUnit
+		}
+		name := "ChildRel"
+		if cfg.NumChildRel > 1 {
+			name = fmt.Sprintf("ChildRel%d", r)
+		}
+		rel, err := db.Cat.CreateBTree(name, db.ChildSchema)
+		if err != nil {
+			return err
+		}
+		pad := db.padFor(db.ChildSchema, cfg.ChildBytes, 0)
+		for k := int64(0); k < int64(nChild); k++ {
+			rec, err := tuple.Encode(nil, db.ChildSchema, tuple.Tuple{
+				tuple.IntVal(int64(object.NewOID(rel.ID, k))),
+				tuple.IntVal(db.rng.Int63n(1 << 30)),
+				tuple.IntVal(db.rng.Int63n(1 << 30)),
+				tuple.IntVal(db.rng.Int63n(1 << 30)),
+				tuple.StrVal(pad),
+			})
+			if err != nil {
+				return err
+			}
+			if err := rel.Tree.Insert(k, rec); err != nil {
+				return err
+			}
+		}
+		db.Children = append(db.Children, rel)
+		db.childByRelID[rel.ID] = rel
+		db.childCount[rel.ID] = nChild
+	}
+	return nil
+}
+
+// buildUnitsAndParents generates the units (exact OverlapFactor), the
+// parent→unit assignment (exact UseFactor up to rounding) and loads
+// ParentRel.
+func (db *DB) buildUnitsAndParents() error {
+	cfg := db.Cfg
+	numUnits := cfg.NumParents / cfg.UseFactor
+
+	// Units per child relation, mirroring buildChildren's split.
+	unitRel := make([]int, 0, numUnits)
+	for r := 0; r < cfg.NumChildRel; r++ {
+		unitsHere := numUnits / cfg.NumChildRel
+		if r < numUnits%cfg.NumChildRel {
+			unitsHere++
+		}
+		for i := 0; i < unitsHere; i++ {
+			unitRel = append(unitRel, r)
+		}
+	}
+
+	// Per relation: slot multiset with each child appearing OverlapFactor
+	// times, shuffled, chopped into units, with within-unit duplicates
+	// repaired.
+	db.Units = make([]object.Unit, 0, numUnits)
+	ui := 0
+	for r := 0; r < cfg.NumChildRel; r++ {
+		rel := db.Children[r]
+		n := db.childCount[rel.ID]
+		unitsHere := 0
+		for _, ur := range unitRel {
+			if ur == r {
+				unitsHere++
+			}
+		}
+		slots := make([]int64, 0, unitsHere*cfg.SizeUnit)
+		for c := 0; len(slots) < unitsHere*cfg.SizeUnit; c++ {
+			slots = append(slots, int64(c%n))
+		}
+		// The c%n construction already yields each child ≈OverlapFactor
+		// times; shuffle for randomness.
+		db.rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+		for u := 0; u < unitsHere; u++ {
+			chunk := slots[u*cfg.SizeUnit : (u+1)*cfg.SizeUnit]
+			db.fixDuplicates(chunk, slots[(u+1)*cfg.SizeUnit:], int64(n))
+			unit := make(object.Unit, cfg.SizeUnit)
+			for i, c := range chunk {
+				unit[i] = object.NewOID(rel.ID, c)
+			}
+			db.Units = append(db.Units, unit)
+			ui++
+		}
+	}
+
+	// Parent → unit: each unit appears UseFactor times (padded to cover
+	// every parent), shuffled.
+	assign := make([]int, 0, cfg.NumParents)
+	for u := 0; u < numUnits; u++ {
+		for k := 0; k < cfg.UseFactor; k++ {
+			assign = append(assign, u)
+		}
+	}
+	for len(assign) < cfg.NumParents {
+		assign = append(assign, db.rng.Intn(numUnits))
+	}
+	assign = assign[:cfg.NumParents]
+	db.rng.Shuffle(len(assign), func(i, j int) { assign[i], assign[j] = assign[j], assign[i] })
+	db.ParentUnit = assign
+	db.UnitUsers = make([][]int64, numUnits)
+	for p, u := range assign {
+		db.UnitUsers[u] = append(db.UnitUsers[u], int64(p))
+	}
+
+	// Load ParentRel.
+	rel, err := db.Cat.CreateBTree("ParentRel", db.ParentSchema)
+	if err != nil {
+		return err
+	}
+	db.Parent = rel
+	childrenBytes := cfg.SizeUnit * 8
+	pad := db.padFor(db.ParentSchema, cfg.ParentBytes, childrenBytes)
+	for p := int64(0); p < int64(cfg.NumParents); p++ {
+		unit := db.Units[assign[p]]
+		rec, err := tuple.Encode(nil, db.ParentSchema, tuple.Tuple{
+			tuple.IntVal(int64(object.NewOID(rel.ID, p))),
+			tuple.IntVal(db.rng.Int63n(1 << 30)),
+			tuple.IntVal(db.rng.Int63n(1 << 30)),
+			tuple.IntVal(db.rng.Int63n(1 << 30)),
+			tuple.StrVal(pad),
+			tuple.BytesVal(object.EncodeOIDs(unit)),
+		})
+		if err != nil {
+			return err
+		}
+		if err := rel.Tree.Insert(p, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fixDuplicates repairs within-unit duplicate subobjects by swapping
+// with later slots, falling back to resampling.
+func (db *DB) fixDuplicates(chunk, rest []int64, n int64) {
+	seen := make(map[int64]bool, len(chunk))
+	for i := 0; i < len(chunk); i++ {
+		if !seen[chunk[i]] {
+			seen[chunk[i]] = true
+			continue
+		}
+		fixed := false
+		if len(rest) > 0 {
+			for try := 0; try < 8; try++ {
+				j := db.rng.Intn(len(rest))
+				if !seen[rest[j]] {
+					chunk[i], rest[j] = rest[j], chunk[i]
+					seen[chunk[i]] = true
+					fixed = true
+					break
+				}
+			}
+		}
+		if !fixed {
+			for {
+				c := db.rng.Int63n(n)
+				if !seen[c] {
+					chunk[i] = c
+					seen[c] = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// buildCluster computes the clustering assignment and materializes
+// ClusterRel: for each parent key p in order, the parent's row followed
+// by the subobjects clustered with it, all under cluster# = p; then the
+// static ISAM index on OID.
+func (db *DB) buildCluster() error {
+	a, err := cluster.Assign(db.Units, db.UnitUsers, db.rng)
+	if err != nil {
+		return err
+	}
+	db.Assignment = a
+
+	// Invert: parent key → owned subobjects.
+	owned := make(map[int64][]object.OID)
+	for oid, p := range a.Owner {
+		owned[p] = append(owned[p], oid)
+	}
+
+	rel, err := db.Cat.CreateBTree("ClusterRel", db.ClusterSchema)
+	if err != nil {
+		return err
+	}
+	db.ClusterRel = rel
+
+	// Cache child tuples for re-encoding into ClusterRel.
+	childTuple := func(oid object.OID) (tuple.Tuple, error) {
+		crel, err := db.ChildByRelID(oid.Rel())
+		if err != nil {
+			return nil, err
+		}
+		rec, err := crel.Tree.Get(oid.Key())
+		if err != nil {
+			return nil, err
+		}
+		return tuple.Decode(db.ChildSchema, rec)
+	}
+	for p := int64(0); p < int64(db.Cfg.NumParents); p++ {
+		prec, err := db.Parent.Tree.Get(p)
+		if err != nil {
+			return err
+		}
+		pt, err := tuple.Decode(db.ParentSchema, prec)
+		if err != nil {
+			return err
+		}
+		row := tuple.Tuple{tuple.IntVal(p), pt[0], pt[1], pt[2], pt[3], pt[4], pt[5]}
+		rec, err := tuple.Encode(nil, db.ClusterSchema, row)
+		if err != nil {
+			return err
+		}
+		if err := rel.Tree.Insert(p, rec); err != nil {
+			return err
+		}
+		for _, oid := range owned[p] {
+			ct, err := childTuple(oid)
+			if err != nil {
+				return err
+			}
+			row := tuple.Tuple{tuple.IntVal(p), ct[0], ct[1], ct[2], ct[3], ct[4], tuple.BytesVal(nil)}
+			rec, err := tuple.Encode(nil, db.ClusterSchema, row)
+			if err != nil {
+				return err
+			}
+			if err := rel.Tree.Insert(p, rec); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Static ISAM index on ClusterRel.OID.
+	var entries []isam.Entry
+	oidIdx := db.ClusterSchema.MustIndex("OID")
+	err = rel.Tree.ScanLeavesRID(func(rid storage.RID, _ int64, payload []byte) (bool, error) {
+		v, err := tuple.DecodeField(db.ClusterSchema, payload, oidIdx)
+		if err != nil {
+			return false, err
+		}
+		entries = append(entries, isam.Entry{Key: v.Int, RID: rid})
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	idx, err := isam.Build(db.Pool, entries)
+	if err != nil {
+		return err
+	}
+	rel.Index = idx
+	return nil
+}
+
+// padFor computes the dummy padding string that brings an encoded tuple
+// of the schema to the target width, given extra variable bytes already
+// accounted for (the children OID list).
+func (db *DB) padFor(s *tuple.Schema, target, extraVar int) string {
+	fixed := 0
+	for _, f := range s.Fields {
+		switch f.Kind {
+		case tuple.KInt:
+			fixed += 8
+		default:
+			fixed += 2
+		}
+	}
+	pad := target - fixed - extraVar
+	if pad < 1 {
+		pad = 1
+	}
+	return strings.Repeat("x", pad)
+}

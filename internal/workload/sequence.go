@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"math"
+
+	"corep/internal/object"
+	"corep/internal/tuple"
+)
+
+// OpKind distinguishes retrieves from updates in a query sequence.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRetrieve OpKind = iota
+	OpUpdate
+)
+
+// Op is one query of a sequence. Retrieves are
+//
+//	retrieve (ParentRel.children.attr) where val1 ≤ ParentRel.OID ≤ val2
+//
+// with attr "randomly chosen (for each query separately) from retl,
+// ret2, ret3" (§4). Updates modify a fixed batch of ChildRel tuples in
+// place; the new values travel with the op so that every strategy (and
+// every layout) applies identical changes.
+type Op struct {
+	Kind OpKind
+
+	// Retrieve fields.
+	Lo, Hi  int64 // parent key range, inclusive
+	AttrIdx int   // FieldRet1..FieldRet3
+
+	// Update fields.
+	Targets []object.OID // ChildRel tuples to modify
+	NewRet1 []int64      // new ret1 value per target
+}
+
+// MaxUpdateFraction caps Pr(UPDATE): a sequence must retain retrieves to
+// compare retrieval strategies, so "Pr(UPDATE) → 1" is modelled as 0.95
+// (documented in DESIGN.md).
+const MaxUpdateFraction = 0.95
+
+// GenSequence produces a sequence with numRetrieves retrieve queries at
+// the given NumTop, mixed with updates so that the update fraction of
+// the sequence is prUpdate. The mix is shuffled deterministically from
+// the DB's seed stream.
+func (db *DB) GenSequence(numRetrieves int, prUpdate float64, numTop int) []Op {
+	return db.GenMixedSequence(numRetrieves, prUpdate, []int{numTop})
+}
+
+// GenMixedSequence is GenSequence with NumTop drawn per query from the
+// given set — the "good query mix" SMART needs (§5.3).
+func (db *DB) GenMixedSequence(numRetrieves int, prUpdate float64, numTops []int) []Op {
+	if prUpdate > MaxUpdateFraction {
+		prUpdate = MaxUpdateFraction
+	}
+	if prUpdate < 0 {
+		prUpdate = 0
+	}
+	numUpdates := 0
+	if prUpdate > 0 {
+		numUpdates = int(math.Round(prUpdate / (1 - prUpdate) * float64(numRetrieves)))
+	}
+	ops := make([]Op, 0, numRetrieves+numUpdates)
+	for i := 0; i < numRetrieves; i++ {
+		numTop := numTops[db.rng.Intn(len(numTops))]
+		if numTop > db.Cfg.NumParents {
+			numTop = db.Cfg.NumParents
+		}
+		lo := int64(0)
+		if db.Cfg.NumParents > numTop {
+			lo = db.rng.Int63n(int64(db.Cfg.NumParents - numTop + 1))
+		}
+		ops = append(ops, Op{
+			Kind:    OpRetrieve,
+			Lo:      lo,
+			Hi:      lo + int64(numTop) - 1,
+			AttrIdx: FieldRet1 + db.rng.Intn(3),
+		})
+	}
+	for i := 0; i < numUpdates; i++ {
+		ops = append(ops, db.genUpdate())
+	}
+	db.rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return ops
+}
+
+// genUpdate picks UpdateBatch random ChildRel tuples and new ret1 values.
+func (db *DB) genUpdate() Op {
+	op := Op{Kind: OpUpdate}
+	for i := 0; i < db.Cfg.UpdateBatch; i++ {
+		rel := db.Children[db.rng.Intn(len(db.Children))]
+		n := db.childCount[rel.ID]
+		if n == 0 {
+			continue
+		}
+		op.Targets = append(op.Targets, object.NewOID(rel.ID, db.rng.Int63n(int64(n))))
+		op.NewRet1 = append(op.NewRet1, db.rng.Int63n(1<<30))
+	}
+	return op
+}
+
+// ApplyUpdateBase applies an update op to the base layout (ChildRel
+// B-trees): probe by key, modify ret1 in place. This is the update path
+// of the non-clustered strategies; the caller is charged the I/O.
+func (db *DB) ApplyUpdateBase(op Op) error {
+	for i, oid := range op.Targets {
+		rel, err := db.ChildByRelID(oid.Rel())
+		if err != nil {
+			return err
+		}
+		rec, err := rel.Tree.Get(oid.Key())
+		if err != nil {
+			return err
+		}
+		t, err := tuple.Decode(db.ChildSchema, rec)
+		if err != nil {
+			return err
+		}
+		t[FieldRet1] = tuple.IntVal(op.NewRet1[i])
+		nrec, err := tuple.Encode(nil, db.ChildSchema, t)
+		if err != nil {
+			return err
+		}
+		if err := rel.Tree.Update(oid.Key(), nrec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyUpdateCluster applies an update op to the clustered layout:
+// random access via the ISAM OID index, then an in-place page update
+// ("the updates ... are translated into equivalent queries on
+// ClusterRel", §4).
+func (db *DB) ApplyUpdateCluster(op Op) error {
+	idx := db.ClusterRel.Index
+	for i, oid := range op.Targets {
+		rid, err := idx.Probe(int64(oid))
+		if err != nil {
+			return err
+		}
+		_, payload, err := db.ClusterRel.Tree.GetAt(rid)
+		if err != nil {
+			return err
+		}
+		t, err := tuple.Decode(db.ClusterSchema, payload)
+		if err != nil {
+			return err
+		}
+		t[2] = tuple.IntVal(op.NewRet1[i]) // ret1 is field 2 in ClusterSchema
+		nrec, err := tuple.Encode(nil, db.ClusterSchema, t)
+		if err != nil {
+			return err
+		}
+		if err := db.ClusterRel.Tree.UpdateAt(rid, nrec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
