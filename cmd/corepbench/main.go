@@ -7,7 +7,10 @@
 //	corepbench -list
 //	corepbench -exp fig3                # one experiment at paper scale
 //	corepbench -all -scale quick        # every experiment, small scale
-//	corepbench -exp fig4 -seed 7
+//	corepbench -exp fig3,fig5 -seed 7   # several experiments
+//	corepbench -exp fig3 -metrics       # + per-cell I/O histograms, cache/buffer breakdowns
+//	corepbench -exp fig3 -trace         # + JSON-lines span stream on stderr
+//	corepbench -exp fig3 -profile out   # + out.cpu.pprof / out.heap.pprof
 //
 // Paper scale uses the paper's environment (10,000 parents, sequences
 // of up to 1000 queries); quick scale shrinks both so the full suite
@@ -18,30 +21,86 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"corep/internal/harness"
+	"corep/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		expName = flag.String("exp", "", "experiment to run (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiments")
-		scale   = flag.String("scale", "paper", "paper or quick")
-		seed    = flag.Int64("seed", 1, "workload generator seed")
-		plot    = flag.Bool("plot", false, "also render an ASCII log-log chart of each table")
-		verify  = flag.Bool("verify", false, "run the cross-strategy agreement self-check and exit")
+		expName  = flag.String("exp", "", "experiment(s) to run, comma-separated (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiments")
+		scale    = flag.String("scale", "paper", "paper or quick")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+		plot     = flag.Bool("plot", false, "also render an ASCII log-log chart of each table")
+		verify   = flag.Bool("verify", false, "run the cross-strategy agreement self-check and exit")
+		metrics  = flag.Bool("metrics", false, "print per-experiment metrics (I/O histograms, cache/buffer breakdowns)")
+		trace    = flag.Bool("trace", false, "stream per-span JSON lines to stderr (see -trace-out)")
+		traceOut = flag.String("trace-out", "", "write the span stream to this file instead of stderr")
+		profile  = flag.String("profile", "", "write CPU and heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
 	)
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		return 2
+	}
 
 	if *list {
 		fmt.Println("experiments:")
 		for _, e := range harness.Experiments {
 			fmt.Printf("  %-14s %s\n", e.Name, e.Paper)
 		}
-		return
+		return 0
+	}
+
+	if *profile != "" {
+		cpu, err := os.Create(*profile + ".cpu.pprof")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+			return 1
+		}
+		defer cpu.Close()
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+		defer func() {
+			heap, err := os.Create(*profile + ".heap.pprof")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+				return
+			}
+			defer heap.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(heap); err != nil {
+				fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+			}
+		}()
+	}
+
+	var sink obs.Sink
+	if *trace || *traceOut != "" {
+		w := os.Stderr
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		sink = obs.NewJSONLSink(w)
 	}
 
 	if *verify {
@@ -52,9 +111,9 @@ func main() {
 			table.Fprint(os.Stdout)
 		}
 		if err != nil {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var sc harness.Scale
@@ -65,33 +124,52 @@ func main() {
 		sc = harness.QuickScale
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want paper or quick)\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 	sc.Seed = *seed
+	sc.Obs.Sink = sink
 
 	var runs []harness.Experiment
 	switch {
+	case *all && *expName != "":
+		fmt.Fprintln(os.Stderr, "-all and -exp are mutually exclusive")
+		return 2
 	case *all:
 		runs = harness.Experiments
 	case *expName != "":
-		e, ok := harness.FindExperiment(*expName)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *expName)
-			os.Exit(2)
+		for _, name := range strings.Split(*expName, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			e, ok := harness.FindExperiment(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", name)
+				return 2
+			}
+			runs = append(runs, e)
 		}
-		runs = []harness.Experiment{e}
+		if len(runs) == 0 {
+			fmt.Fprintln(os.Stderr, "-exp names no experiment; try -list")
+			return 2
+		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	for _, e := range runs {
+		// A fresh registry per experiment keeps the per-cell metric names
+		// from colliding across experiments.
+		if *metrics {
+			sc.Obs.Metrics = obs.NewRegistry()
+		}
 		start := time.Now()
 		fmt.Printf("running %s (%s, scale=%s, seed=%d)...\n", e.Name, e.Paper, *scale, *seed)
 		table, err := e.Run(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
-			os.Exit(1)
+			return 1
 		}
 		table.AddNote("elapsed %s", time.Since(start).Round(time.Millisecond))
 		table.Fprint(os.Stdout)
@@ -99,5 +177,11 @@ func main() {
 			harness.PlotFromTable(table, true, true).Fprint(os.Stdout)
 			fmt.Println()
 		}
+		if *metrics {
+			fmt.Printf("metrics for %s:\n", e.Name)
+			sc.Obs.Metrics.WriteText(os.Stdout)
+			fmt.Println()
+		}
 	}
+	return 0
 }

@@ -13,14 +13,22 @@
 //	retrieve (...) [where ...]   run a query
 //	\path <group-key>            retrieve (group.members.name) for one group
 //	\stats                       cumulative simulated I/O
+//	\metrics                     aggregated metrics report (with -metrics)
 //	\help                        this text
 //	\quit
+//
+// Flags: -trace streams per-span JSON lines to stderr, -metrics
+// aggregates I/O histograms readable via \metrics, -profile <prefix>
+// writes CPU/heap profiles on exit.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -28,10 +36,49 @@ import (
 )
 
 func main() {
+	var (
+		trace   = flag.Bool("trace", false, "stream per-span JSON lines to stderr")
+		metrics = flag.Bool("metrics", false, "aggregate metrics (report with \\metrics)")
+		profile = flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof on exit")
+	)
+	flag.Parse()
+
+	if *profile != "" {
+		cpu, err := os.Create(*profile + ".cpu.pprof")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cpu.Close()
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+		defer func() {
+			heap, err := os.Create(*profile + ".heap.pprof")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer heap.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(heap); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	db, groups, err := buildExampleDB()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *trace {
+		db.TraceTo(os.Stderr)
+	}
+	if *metrics {
+		db.EnableMetrics()
 	}
 	fmt.Println("corep query shell — the paper's example database is loaded.")
 	fmt.Println("relations: person(OID,name,age), cyclist(OID,name), group(key,name,members)")
@@ -55,10 +102,12 @@ func main() {
 		case line == `\quit` || line == `\q`:
 			return
 		case line == `\help`:
-			fmt.Println(`retrieve (...) [where ...] | \path <key> | \stats | \quit`)
+			fmt.Println(`retrieve (...) [where ...] | \path <key> | \stats | \metrics | \quit`)
 		case line == `\stats`:
 			s := db.Stats()
 			fmt.Printf("simulated I/O: %d reads, %d writes\n", s.Reads, s.Writes)
+		case line == `\metrics`:
+			db.MetricsReport(os.Stdout)
 		case strings.HasPrefix(line, `\path`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\path`))
 			key, err := strconv.ParseInt(arg, 10, 64)

@@ -9,6 +9,7 @@ import (
 	"corep/internal/catalog"
 	"corep/internal/disk"
 	"corep/internal/object"
+	"corep/internal/obs"
 	"corep/internal/pql"
 	"corep/internal/tuple"
 )
@@ -85,6 +86,10 @@ type Database struct {
 	cache *cache.Cache
 	// cacheMode selects what procedural children cache (SetCacheMode).
 	cacheMode CacheMode
+
+	// obs is the observability context (TraceTo / EnableMetrics); the
+	// zero value collects nothing.
+	obs obs.Ctx
 }
 
 // NewDatabase creates an in-memory database with the given buffer-pool
@@ -357,12 +362,19 @@ func (r *Relation) Resolve(key int64, attr string) (*Resolved, error) {
 // targetAttr from every subobject. Procedural subobject rows must carry
 // targetAttr in the stored query's target list.
 func (d *Database) RetrievePath(relName, childrenAttr, targetAttr string, lo, hi int64) ([]Value, error) {
+	sp := d.obs.Start("query.path")
+	defer sp.End()
+	before := d.dsk.Stats().Total()
 	crel, err := d.cat.Get(relName)
 	if err != nil {
 		return nil, err
 	}
 	r := &Relation{db: d, rel: crel, schema: crel.Schema, childAttrs: map[string]bool{childrenAttr: true}}
 	var out []Value
+	defer func() {
+		sp.SetAttr("values", int64(len(out)))
+		d.obs.Histogram("query.io", obs.IOBuckets).Observe(float64(d.dsk.Stats().Total() - before))
+	}()
 	err = crel.Tree.Range(lo, hi, func(key int64, _ []byte) (bool, error) {
 		res, rerr := r.Resolve(key, childrenAttr)
 		if rerr != nil {
@@ -425,10 +437,15 @@ type QueryResult struct {
 //
 //	retrieve (person.name, person.age) where person.age >= 60
 func (d *Database) Query(src string) (*QueryResult, error) {
+	sp := d.obs.Start("query.pql")
+	defer sp.End()
+	before := d.dsk.Stats().Total()
 	res, err := pql.Run(d.cat, src)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("rows", int64(len(res.Tuples)))
+	d.obs.Histogram("query.io", obs.IOBuckets).Observe(float64(d.dsk.Stats().Total() - before))
 	return &QueryResult{Columns: res.Schema.Names(), Rows: res.Tuples}, nil
 }
 

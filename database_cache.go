@@ -46,6 +46,7 @@ func (d *Database) EnableCache(maxUnits int) error {
 	if err != nil {
 		return err
 	}
+	c.Obs = d.obs
 	d.cache = c
 	return nil
 }

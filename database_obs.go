@@ -1,0 +1,61 @@
+package corep
+
+import (
+	"io"
+
+	"corep/internal/obs"
+)
+
+// This file is the object API's observability surface: span tracing of
+// queries and path retrievals (I/O-attributed, like the harness) and an
+// aggregated metrics report. The exported signatures use only standard
+// library types; the obs machinery stays internal.
+
+// TraceTo streams one JSON object per completed span to w — the same
+// JSON-lines format corepbench -trace emits. Spans cover Query and
+// RetrievePath calls plus the cache operations under them, each carrying
+// the disk/buffer counter deltas charged while it was open. Pass nil to
+// stop tracing.
+func (d *Database) TraceTo(w io.Writer) {
+	if w == nil {
+		d.obs.Trace = nil
+	} else {
+		d.obs.Trace = obs.NewTracer(d.ioSnapshot, obs.NewJSONLSink(w))
+	}
+	d.propagateObs()
+}
+
+// EnableMetrics starts aggregating counters and I/O histograms across
+// subsequent queries. Idempotent; read the result with MetricsReport.
+func (d *Database) EnableMetrics() {
+	if d.obs.Metrics == nil {
+		d.obs.Metrics = obs.NewRegistry()
+	}
+	d.propagateObs()
+}
+
+// MetricsReport writes a human-readable report of everything aggregated
+// since EnableMetrics. No-op when metrics were never enabled.
+func (d *Database) MetricsReport(w io.Writer) {
+	d.obs.Metrics.WriteText(w)
+}
+
+// propagateObs pushes the current context down to the layers holding
+// their own copy.
+func (d *Database) propagateObs() {
+	d.pool.SetObs(d.obs)
+	if d.cache != nil {
+		d.cache.Obs = d.obs
+	}
+}
+
+// ioSnapshot is the tracer's counter source over this database's
+// simulated hardware.
+func (d *Database) ioSnapshot() obs.IO {
+	s := d.dsk.Stats()
+	p := d.pool.Stats()
+	return obs.IO{
+		Reads: s.Reads, Writes: s.Writes,
+		Hits: p.Hits, Misses: p.Misses, Flushes: p.Flushes,
+	}
+}

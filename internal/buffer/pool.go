@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"corep/internal/disk"
+	"corep/internal/obs"
 )
 
 // DefaultPoolSize is the paper's buffer size: 100 pages.
@@ -70,6 +71,16 @@ func (s Stats) String() string {
 	return fmt.Sprintf("hits=%d misses=%d flushes=%d hitrate=%.3f", s.Hits, s.Misses, s.Flushes, s.HitRate())
 }
 
+// Counters exposes the stats as named values for uniform sink reporting.
+func (s Stats) Counters() []obs.KV {
+	return []obs.KV{
+		{Key: "buffer.hits", Value: s.Hits},
+		{Key: "buffer.misses", Value: s.Misses},
+		{Key: "buffer.flushes", Value: s.Flushes},
+		{Key: "buffer.pins", Value: s.Pins},
+	}
+}
+
 type frame struct {
 	id    disk.PageID
 	buf   []byte
@@ -91,6 +102,7 @@ type Pool struct {
 	frames map[disk.PageID]*frame
 	lru    *list.List // unpinned frames, front = least recently used
 	stats  Stats
+	obs    obs.Ctx
 }
 
 // New creates an LRU pool of capacity pages over dm. Capacity must be ≥ 1.
@@ -125,6 +137,29 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// SetObs installs the observability context operators below the workload
+// layer (query.SortTemp) reach through the pool they already hold.
+func (p *Pool) SetObs(ctx obs.Ctx) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = ctx
+}
+
+// Obs returns the installed observability context (zero Ctx when unset).
+func (p *Pool) Obs() obs.Ctx {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.obs
+}
+
+// Resident returns the number of frames currently holding a page — the
+// buffer-pool residency gauge.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
 }
 
 // Pin fetches page id into the pool and pins it. The returned buffer is

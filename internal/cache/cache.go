@@ -24,6 +24,7 @@ import (
 	"corep/internal/buffer"
 	"corep/internal/hashfile"
 	"corep/internal/object"
+	"corep/internal/obs"
 )
 
 // Stats counts cache events.
@@ -43,6 +44,30 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// HitRate returns hits / (hits+misses), or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d inserts=%d evict=%d inval=%d hitrate=%.3f",
+		s.Hits, s.Misses, s.Inserts, s.Evictions, s.Invalidations, s.HitRate())
+}
+
+// Counters exposes the stats as named values for uniform sink reporting.
+func (s Stats) Counters() []obs.KV {
+	return []obs.KV{
+		{Key: "cache.hits", Value: s.Hits},
+		{Key: "cache.misses", Value: s.Misses},
+		{Key: "cache.inserts", Value: s.Inserts},
+		{Key: "cache.evictions", Value: s.Evictions},
+		{Key: "cache.invalidations", Value: s.Invalidations},
+	}
+}
+
 // Cache is an outside value cache with bounded capacity (SizeCache,
 // "the maximum number of units that can be cached", §4 [3]).
 type Cache struct {
@@ -58,6 +83,10 @@ type Cache struct {
 	ilocks map[object.OID]map[int64]struct{}
 
 	stats Stats
+
+	// Obs, when enabled, records spans around the I/O-bearing cache
+	// operations (lookup, insert, invalidate). Zero value = disabled.
+	Obs obs.Ctx
 }
 
 // New creates a cache of at most maxUnits units over a fresh hash file
@@ -130,6 +159,10 @@ func (c *Cache) Lookup(u object.Unit) (value []byte, ok bool, err error) {
 		c.stats.Misses++
 		return nil, false, nil
 	}
+	// Only hits open a span: misses never touch the hash file.
+	sp := c.Obs.Start("cache.lookup")
+	defer sp.End()
+	sp.SetAttr("segments", int64(segs))
 	var out []byte
 	for i := 0; i < segs; i++ {
 		v, err := c.file.Get(segKey(key, i))
@@ -156,6 +189,9 @@ func (c *Cache) Insert(u object.Unit, value []byte) error {
 // this: the key derives from the stored query, but invalidation must
 // fire when any *result* tuple updates.
 func (c *Cache) InsertWithLocks(u object.Unit, locks []object.OID, value []byte) error {
+	sp := c.Obs.Start("cache.insert")
+	defer sp.End()
+	sp.SetAttr("bytes", int64(len(value)))
 	key := u.HashKey()
 	if _, exists := c.units[key]; !exists && len(c.units) >= c.maxUnits {
 		if err := c.evictOne(); err != nil {
@@ -247,6 +283,8 @@ func (c *Cache) Invalidate(updated object.OID) (int, error) {
 	if len(locks) == 0 {
 		return 0, nil
 	}
+	sp := c.Obs.Start("cache.invalidate")
+	defer sp.End()
 	keys := make([]int64, 0, len(locks))
 	for k := range locks {
 		keys = append(keys, k)
@@ -257,6 +295,8 @@ func (c *Cache) Invalidate(updated object.OID) (int, error) {
 		}
 	}
 	c.stats.Invalidations += int64(len(keys))
+	sp.SetAttr("fanout", int64(len(keys)))
+	c.Obs.Histogram("cache.invalidation.fanout", obs.CountBuckets).Observe(float64(len(keys)))
 	return len(keys), nil
 }
 

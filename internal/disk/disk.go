@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"corep/internal/obs"
 )
 
 // PageSize is the size of every disk page in bytes. INGRES 5.0, the
@@ -42,8 +44,30 @@ func (s Stats) Sub(o Stats) Stats {
 	return Stats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes, Allocs: s.Allocs - o.Allocs}
 }
 
+// Add returns the counter sums s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Reads: s.Reads + o.Reads, Writes: s.Writes + o.Writes, Allocs: s.Allocs + o.Allocs}
+}
+
+// ReadFraction returns reads / (reads+writes), or 0 with no traffic.
+func (s Stats) ReadFraction() float64 {
+	if s.Total() == 0 {
+		return 0
+	}
+	return float64(s.Reads) / float64(s.Total())
+}
+
 func (s Stats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d allocs=%d io=%d", s.Reads, s.Writes, s.Allocs, s.Total())
+}
+
+// Counters exposes the stats as named values for uniform sink reporting.
+func (s Stats) Counters() []obs.KV {
+	return []obs.KV{
+		{Key: "disk.reads", Value: s.Reads},
+		{Key: "disk.writes", Value: s.Writes},
+		{Key: "disk.allocs", Value: s.Allocs},
+	}
 }
 
 // Common errors returned by Manager implementations.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"corep/internal/buffer"
+	"corep/internal/obs"
 	"corep/internal/strategy"
 	"corep/internal/workload"
 )
@@ -17,6 +18,10 @@ type Scale struct {
 	NumParents   int
 	MaxRetrieves int
 	Seed         int64
+
+	// Obs is forwarded to every measured run of the experiment; the
+	// zero value collects nothing.
+	Obs obs.Options
 }
 
 // The two standard scales.
@@ -91,6 +96,7 @@ func (sc Scale) run(db workload.Config, kind strategy.Kind, numTop int, pr float
 		NumRetrieves: sc.retrieves(numTop),
 		PrUpdate:     pr,
 		NumTop:       numTop,
+		Obs:          sc.Obs,
 	})
 }
 
@@ -355,6 +361,7 @@ func Smart(sc Scale) (*Table, error) {
 				NumRetrieves: sc.retrieves(nt),
 				PrUpdate:     0.1,
 				NumTops:      []int{10, nt},
+				Obs:          sc.Obs,
 			})
 			if err != nil {
 				return nil, err

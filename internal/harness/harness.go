@@ -12,7 +12,10 @@ package harness
 import (
 	"fmt"
 
+	"corep/internal/buffer"
 	"corep/internal/cache"
+	"corep/internal/disk"
+	"corep/internal/obs"
 	"corep/internal/strategy"
 	"corep/internal/workload"
 )
@@ -31,6 +34,11 @@ type RunConfig struct {
 	// NumTop, or NumTops for a mixed sequence (SMART's scenario).
 	NumTop  int
 	NumTops []int
+
+	// Obs configures tracing/metrics for this run. Metric names get a
+	// per-cell "STRATEGY|SF=n|NT=n|" prefix so grid sweeps sharing one
+	// registry stay distinguishable.
+	Obs obs.Options
 }
 
 // Measurement is the result of one run.
@@ -48,6 +56,13 @@ type Measurement struct {
 	// AvgPar / AvgChild decompose retrieve cost (Figure 5).
 	AvgPar   float64
 	AvgChild float64
+
+	// TotalIO is the sequence's total charged page I/O (= AvgIO × ops);
+	// the span-sum test reconciles per-op root spans against it.
+	TotalIO int64
+	// Disk / Buffer are the counter deltas over the measured sequence.
+	Disk   disk.Stats
+	Buffer buffer.Stats
 
 	Cache cache.Stats // zero unless the strategy uses the cache
 }
@@ -96,6 +111,14 @@ func Run(rc RunConfig) (*Measurement, error) {
 	if err != nil {
 		return nil, err
 	}
+	if rc.Obs.Enabled() {
+		ntLabel := fmt.Sprintf("%d", rc.NumTop)
+		if len(rc.NumTops) > 0 {
+			ntLabel = "mix"
+		}
+		cell := fmt.Sprintf("%s|SF=%d|NT=%s|", rc.Strategy, dbCfg.ShareFactor(), ntLabel)
+		db.AttachObs(rc.Obs.WithPrefix(cell))
+	}
 	var st strategy.Strategy
 	if rc.Strategy == strategy.SMART && rc.SmartThreshold > 0 {
 		st, err = strategy.NewSmart(db, rc.SmartThreshold)
@@ -124,10 +147,20 @@ func Run(rc RunConfig) (*Measurement, error) {
 	return Execute(db, st, ops)
 }
 
-// Execute runs a prepared sequence against a prepared database.
+// Execute runs a prepared sequence against a prepared database. Each
+// op gets a root span ("query.retrieve" / "query.update") opened and
+// closed at exactly the points the harness snapshots its own counters,
+// so the root spans' I/O sums to Measurement.TotalIO.
 func Execute(db *workload.DB, st strategy.Strategy, ops []workload.Op) (*Measurement, error) {
 	if err := db.ResetCold(); err != nil {
 		return nil, err
+	}
+	ob := db.Obs
+	startDisk := db.Disk.Stats()
+	startBuf := db.Pool.Stats()
+	var startCache cache.Stats
+	if db.Cache != nil {
+		startCache = db.Cache.Stats()
 	}
 	m := &Measurement{Strategy: st.Kind()}
 	var retrIO, updIO int64
@@ -136,22 +169,35 @@ func Execute(db *workload.DB, st strategy.Strategy, ops []workload.Op) (*Measure
 		before := db.Disk.Stats().Total()
 		switch op.Kind {
 		case workload.OpRetrieve:
+			sp := ob.Start("query.retrieve")
+			sp.SetAttr("numtop", op.Hi-op.Lo+1)
 			res, err := st.Retrieve(db, strategy.Query{Lo: op.Lo, Hi: op.Hi, AttrIdx: op.AttrIdx})
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s retrieve [%d,%d]: %w", st.Kind(), op.Lo, op.Hi, err)
 			}
+			sp.End()
 			split.Add(res.Split)
-			retrIO += db.Disk.Stats().Total() - before
+			d := db.Disk.Stats().Total() - before
+			retrIO += d
 			m.Retrieves++
+			ob.Histogram("query.io", obs.IOBuckets).Observe(float64(d))
+			ob.Histogram("retrieve.io", obs.IOBuckets).Observe(float64(d))
 		case workload.OpUpdate:
+			sp := ob.Start("query.update")
+			sp.SetAttr("targets", int64(len(op.Targets)))
 			if err := st.Update(db, op); err != nil {
 				return nil, fmt.Errorf("harness: %s update: %w", st.Kind(), err)
 			}
-			updIO += db.Disk.Stats().Total() - before
+			sp.End()
+			d := db.Disk.Stats().Total() - before
+			updIO += d
 			m.Updates++
+			ob.Histogram("query.io", obs.IOBuckets).Observe(float64(d))
+			ob.Histogram("update.io", obs.IOBuckets).Observe(float64(d))
 		}
 	}
 	total := retrIO + updIO
+	m.TotalIO = total
 	if n := m.Retrieves + m.Updates; n > 0 {
 		m.AvgIO = float64(total) / float64(n)
 	}
@@ -163,8 +209,19 @@ func Execute(db *workload.DB, st strategy.Strategy, ops []workload.Op) (*Measure
 	if m.Updates > 0 {
 		m.AvgUpdateIO = float64(updIO) / float64(m.Updates)
 	}
+	m.Disk = db.Disk.Stats().Sub(startDisk)
+	m.Buffer = db.Pool.Stats().Sub(startBuf)
 	if db.Cache != nil {
-		m.Cache = db.Cache.Stats()
+		m.Cache = db.Cache.Stats().Sub(startCache)
+	}
+	if ob.Enabled() {
+		ob.AddCounters(m.Disk.Counters())
+		ob.AddCounters(m.Buffer.Counters())
+		ob.Gauge("buffer.resident").Set(int64(db.Pool.Resident()))
+		if db.Cache != nil {
+			ob.AddCounters(m.Cache.Counters())
+			ob.Gauge("cache.units").Set(int64(db.Cache.Len()))
+		}
 	}
 	return m, nil
 }

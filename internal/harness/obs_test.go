@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"corep/internal/obs"
+	"corep/internal/strategy"
+	"corep/internal/workload"
+)
+
+// obsRun executes one small instrumented run and returns the collector
+// and measurement.
+func obsRun(t *testing.T, kind strategy.Kind, pr float64) (*obs.Collector, *obs.Registry, *Measurement) {
+	t.Helper()
+	col := obs.NewCollector()
+	reg := obs.NewRegistry()
+	m, err := Run(RunConfig{
+		DB:           workload.Config{NumParents: 400, UseFactor: 5, Seed: 7},
+		Strategy:     kind,
+		NumRetrieves: 40,
+		PrUpdate:     pr,
+		NumTop:       20,
+		Obs:          obs.Options{Sink: col, Metrics: reg},
+	})
+	if err != nil {
+		t.Fatalf("%s run: %v", kind, err)
+	}
+	return col, reg, m
+}
+
+// TestRootSpansSumToTotalIO is the acceptance check for span I/O
+// attribution: the per-op root spans' I/O deltas must sum exactly to the
+// harness's own per-sequence total.
+func TestRootSpansSumToTotalIO(t *testing.T) {
+	for _, kind := range []strategy.Kind{strategy.DFS, strategy.BFS, strategy.DFSCACHE, strategy.DFSCLUST} {
+		col, _, m := obsRun(t, kind, 0.3)
+		var rootIO int64
+		roots := 0
+		for _, sp := range col.Spans() {
+			if sp.Parent == 0 {
+				if sp.Name != "query.retrieve" && sp.Name != "query.update" {
+					t.Errorf("%s: unexpected root span %q", kind, sp.Name)
+				}
+				rootIO += sp.IO
+				roots++
+			}
+		}
+		if roots != m.Retrieves+m.Updates {
+			t.Errorf("%s: %d root spans for %d ops", kind, roots, m.Retrieves+m.Updates)
+		}
+		if rootIO != m.TotalIO {
+			t.Errorf("%s: root spans sum to %d I/O, measurement says %d", kind, rootIO, m.TotalIO)
+		}
+	}
+}
+
+// TestChildSpansNestUnderRoots checks that operator spans attach to the
+// per-op roots and never leak I/O past their parent.
+func TestChildSpansNestUnderRoots(t *testing.T) {
+	col, _, _ := obsRun(t, strategy.BFS, 0)
+	spans := col.Spans()
+	byID := make(map[uint64]obs.SpanEvent, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	sawChild := false
+	childIO := make(map[uint64]int64)
+	for _, sp := range spans {
+		if sp.Parent == 0 {
+			continue
+		}
+		sawChild = true
+		parent, ok := byID[sp.Parent]
+		if !ok {
+			t.Fatalf("span %d (%s) has unknown parent %d", sp.ID, sp.Name, sp.Parent)
+		}
+		if parent.Parent == 0 { // direct child of a root: count toward it
+			childIO[parent.ID] += sp.IO
+		}
+		if !strings.HasPrefix(sp.Name, "strategy.") && !strings.HasPrefix(sp.Name, "query.") &&
+			!strings.HasPrefix(sp.Name, "cache.") {
+			t.Errorf("unexpected span name %q", sp.Name)
+		}
+	}
+	if !sawChild {
+		t.Fatal("no operator spans recorded under the roots")
+	}
+	for id, io := range childIO {
+		if root := byID[id]; io > root.IO {
+			t.Errorf("children of root %d carry %d I/O, root only %d", id, io, root.IO)
+		}
+	}
+}
+
+// TestMetricsAggregation checks the per-cell prefix and that the
+// registry's counters agree with the measurement's stats deltas.
+func TestMetricsAggregation(t *testing.T) {
+	_, reg, m := obsRun(t, strategy.DFSCACHE, 0.3)
+	prefix := "DFSCACHE|SF=5|NT=20|"
+	if got := reg.Counter(prefix + "disk.reads").Value(); got != m.Disk.Reads {
+		t.Errorf("disk.reads counter = %d, measurement delta %d", got, m.Disk.Reads)
+	}
+	if got := reg.Counter(prefix + "cache.hits").Value(); got != m.Cache.Hits {
+		t.Errorf("cache.hits counter = %d, measurement delta %d", got, m.Cache.Hits)
+	}
+	h := reg.Histogram(prefix+"query.io", nil).Snapshot()
+	if int(h.Count) != m.Retrieves+m.Updates {
+		t.Errorf("query.io histogram holds %d observations for %d ops", h.Count, m.Retrieves+m.Updates)
+	}
+	if h.Sum != float64(m.TotalIO) {
+		t.Errorf("query.io histogram sums to %.0f, measurement says %d", h.Sum, m.TotalIO)
+	}
+	if m.Updates > 0 && m.Cache.Invalidations > 0 {
+		f := reg.Histogram(prefix+"cache.invalidation.fanout", nil).Snapshot()
+		if f.Sum != float64(m.Cache.Invalidations) {
+			t.Errorf("fanout histogram sums to %.0f, stats say %d invalidations", f.Sum, m.Cache.Invalidations)
+		}
+	}
+	if reg.Gauge(prefix+"buffer.resident").Value() <= 0 {
+		t.Error("buffer.resident gauge not set")
+	}
+}
+
+// TestUninstrumentedRunUnchanged guards the zero-overhead claim at the
+// result level: attaching observability must not change measured I/O.
+func TestUninstrumentedRunUnchanged(t *testing.T) {
+	base := func(o obs.Options) *Measurement {
+		m, err := Run(RunConfig{
+			DB:           workload.Config{NumParents: 400, UseFactor: 5, Seed: 7},
+			Strategy:     strategy.BFS,
+			NumRetrieves: 24,
+			NumTop:       20,
+			Obs:          o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	plain := base(obs.Options{})
+	traced := base(obs.Options{Sink: obs.NewCollector(), Metrics: obs.NewRegistry()})
+	if plain.TotalIO != traced.TotalIO || plain.AvgIO != traced.AvgIO {
+		t.Errorf("instrumentation changed the measurement: plain %d I/O, traced %d", plain.TotalIO, traced.TotalIO)
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import "testing"
+
+// BenchmarkDisabledSpan measures the instrumentation cost paid by every
+// hot path when observability is off. Run with -benchmem: the allocs/op
+// column must read 0.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var ctx Ctx
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := ctx.Start("strategy.dfs/probe")
+		sp.SetAttr("values", int64(i))
+		sp.End()
+	}
+}
+
+// BenchmarkDisabledMetrics is the registry-off counterpart.
+func BenchmarkDisabledMetrics(b *testing.B) {
+	var ctx Ctx
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx.Counter("disk.reads").Add(1)
+		ctx.Histogram("query.io", IOBuckets).Observe(float64(i))
+	}
+}
+
+// BenchmarkEnabledSpan is the reference point for the enabled path
+// (collector sink, live source).
+func BenchmarkEnabledSpan(b *testing.B) {
+	var cell IO
+	tr := NewTracer(func() IO { return cell }, NewCollector())
+	ctx := Ctx{Trace: tr}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := ctx.Start("strategy.dfs/probe")
+		cell.Reads++
+		sp.End()
+	}
+}

@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named counters, gauges and fixed-bucket histograms.
+// It is safe for concurrent use (grid experiments run measurements in
+// parallel against one shared registry); a nil *Registry is the
+// disabled registry and hands out nil no-op instruments.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. The
+// bucket bounds are fixed at first creation; later callers get the
+// existing histogram regardless of the bounds they pass. A nil or
+// empty bounds slice falls back to IOBuckets.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically growing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; no-op on nil.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins int64 (pool residency, cache occupancy).
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value; no-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the last set value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram. An observation v lands in the
+// first bucket whose upper bound satisfies v <= bound; observations
+// above every bound land in the overflow bucket.
+type Histogram struct {
+	mu       sync.Mutex
+	bounds   []float64
+	counts   []int64
+	overflow int64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// NewHistogram creates a histogram with the given ascending upper
+// bounds (IOBuckets if nil or empty).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = IOBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b))}
+}
+
+// Observe records one value; no-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	// Bounds are few (≤ ~20); linear scan beats binary search in practice.
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.overflow++
+}
+
+// HistSnapshot is a consistent copy of a histogram's state.
+type HistSnapshot struct {
+	Bounds   []float64
+	Counts   []int64
+	Overflow int64
+	Count    int64
+	Sum      float64
+	Min, Max float64
+}
+
+// Snapshot returns a copy of the histogram's state (zero on nil).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Bounds:   append([]float64(nil), h.bounds...),
+		Counts:   append([]int64(nil), h.counts...),
+		Overflow: h.overflow,
+		Count:    h.count,
+		Sum:      h.sum,
+		Min:      h.min,
+		Max:      h.max,
+	}
+}
+
+// Mean returns sum/count, or 0 with no observations.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// ExpBuckets returns n exponentially growing upper bounds
+// start, start*factor, start*factor², …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Standard bucket sets.
+var (
+	// IOBuckets covers per-query page I/O from 1 to ~128k pages.
+	IOBuckets = ExpBuckets(1, 2, 18)
+	// CountBuckets covers small cardinalities (invalidation fan-out,
+	// temp sizes) from 1 to ~256k.
+	CountBuckets = ExpBuckets(1, 4, 10)
+)
+
+// MetricPoint is one exported metric value: the unit metrics travel in
+// through sinks. Kind is "counter", "gauge" or "histogram"; histogram
+// points carry Count/Sum/Min/Max plus per-bucket counts (Overflow holds
+// observations above the last bound, so every bound stays finite and
+// JSON-encodable).
+type MetricPoint struct {
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind"`
+	Value    int64    `json:"value,omitempty"`
+	Count    int64    `json:"count,omitempty"`
+	Sum      float64  `json:"sum,omitempty"`
+	Min      float64  `json:"min,omitempty"`
+	Max      float64  `json:"max,omitempty"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+	Overflow int64    `json:"overflow,omitempty"`
+}
+
+// Bucket is one histogram bucket: the count of observations ≤ LE that
+// fell in no earlier bucket.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Points exports every metric, sorted by name (nil-safe).
+func (r *Registry) Points() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	type entry struct {
+		kind string
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	byName := make(map[string]entry)
+	for n, c := range r.counters {
+		names = append(names, n)
+		byName[n] = entry{kind: "counter", c: c}
+	}
+	for n, g := range r.gauges {
+		names = append(names, n)
+		byName[n] = entry{kind: "gauge", g: g}
+	}
+	for n, h := range r.hists {
+		names = append(names, n)
+		byName[n] = entry{kind: "histogram", h: h}
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	out := make([]MetricPoint, 0, len(names))
+	for _, n := range names {
+		e := byName[n]
+		switch e.kind {
+		case "counter":
+			out = append(out, MetricPoint{Name: n, Kind: "counter", Value: e.c.Value()})
+		case "gauge":
+			out = append(out, MetricPoint{Name: n, Kind: "gauge", Value: e.g.Value()})
+		case "histogram":
+			s := e.h.Snapshot()
+			p := MetricPoint{
+				Name: n, Kind: "histogram",
+				Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max, Overflow: s.Overflow,
+			}
+			for i, b := range s.Bounds {
+				p.Buckets = append(p.Buckets, Bucket{LE: b, Count: s.Counts[i]})
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Flush emits every metric point to the sink.
+func (r *Registry) Flush(s Sink) {
+	if r == nil || s == nil {
+		return
+	}
+	for _, p := range r.Points() {
+		s.Metric(p)
+	}
+}
+
+// WriteText renders a human-readable report: one line per counter and
+// gauge, one block per histogram with non-empty buckets only.
+func (r *Registry) WriteText(w io.Writer) {
+	for _, p := range r.Points() {
+		switch p.Kind {
+		case "counter", "gauge":
+			fmt.Fprintf(w, "%-12s %-56s %d\n", p.Kind, p.Name, p.Value)
+		case "histogram":
+			mean := 0.0
+			if p.Count > 0 {
+				mean = p.Sum / float64(p.Count)
+			}
+			fmt.Fprintf(w, "%-12s %-56s count=%d mean=%.1f min=%.0f max=%.0f\n",
+				p.Kind, p.Name, p.Count, mean, p.Min, p.Max)
+			var b strings.Builder
+			for _, bk := range p.Buckets {
+				if bk.Count == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, " [<=%.0f]=%d", bk.LE, bk.Count)
+			}
+			if p.Overflow > 0 {
+				fmt.Fprintf(&b, " [over]=%d", p.Overflow)
+			}
+			if b.Len() > 0 {
+				fmt.Fprintf(w, "%-12s %s\n", "", strings.TrimSpace(b.String()))
+			}
+		}
+	}
+}

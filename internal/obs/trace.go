@@ -1,0 +1,110 @@
+package obs
+
+import "sync"
+
+// Source snapshots the I/O counters spans attribute deltas against.
+type Source func() IO
+
+// Tracer hands out spans over one counter source. A nil *Tracer is the
+// disabled tracer: Start returns an inert Span and nothing allocates.
+//
+// Span ids are per-tracer and start at 1; parent attribution assumes
+// the spans of one tracer open and close in LIFO order, which holds
+// because each measured run is single-threaded (concurrent grid runs
+// each get their own tracer over their own database, sharing only the
+// lock-protected sink).
+type Tracer struct {
+	src  Source
+	sink Sink
+
+	mu     sync.Mutex
+	nextID uint64
+	cur    uint64 // id of the innermost open span
+}
+
+// NewTracer creates a tracer emitting to sink. Returns nil (the
+// disabled tracer) if either argument is nil.
+func NewTracer(src Source, sink Sink) *Tracer {
+	if src == nil || sink == nil {
+		return nil
+	}
+	return &Tracer{src: src, sink: sink}
+}
+
+// Attr is one span attribute (integer-valued: counts, parameters).
+type Attr struct {
+	Key string `json:"k"`
+	Val int64  `json:"v"`
+}
+
+// Span is an open span. The zero Span (from a disabled tracer) is
+// inert: SetAttr and End are no-ops. Spans are values — opening one
+// performs no heap allocation.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  IO
+	attrs  []Attr
+}
+
+// Start opens a span named name, snapshotting the counters.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	parent := t.cur
+	t.cur = id
+	t.mu.Unlock()
+	return Span{t: t, id: id, parent: parent, name: name, start: t.src()}
+}
+
+// SetAttr attaches an integer attribute (row counts, parameters) to the
+// span. No-op on an inert span.
+func (s *Span) SetAttr(key string, val int64) {
+	if s.t == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+}
+
+// End closes the span, attributing the counter deltas since Start, and
+// emits it to the sink. No-op on an inert span. End must be called at
+// most once, in LIFO order with respect to other spans of the tracer.
+func (s *Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := s.t.src().Sub(s.start)
+	s.t.mu.Lock()
+	s.t.cur = s.parent
+	s.t.mu.Unlock()
+	s.t.sink.Span(&SpanEvent{
+		ID: s.id, Parent: s.parent, Name: s.name,
+		Reads: d.Reads, Writes: d.Writes, IO: d.Reads + d.Writes,
+		Hits: d.Hits, Misses: d.Misses, Flushes: d.Flushes,
+		Attrs: s.attrs,
+	})
+	s.t = nil
+}
+
+// SpanEvent is one closed span: the unit of the JSON-lines trace
+// stream. Reads/Writes are the disk I/O charged while the span was
+// open (IO = Reads + Writes); Hits/Misses/Flushes are the buffer-pool
+// events. Parent 0 means a root span.
+type SpanEvent struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	Reads   int64  `json:"reads"`
+	Writes  int64  `json:"writes"`
+	IO      int64  `json:"io"`
+	Hits    int64  `json:"hits"`
+	Misses  int64  `json:"misses"`
+	Flushes int64  `json:"flushes,omitempty"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}

@@ -14,6 +14,7 @@ import (
 
 	"corep/internal/buffer"
 	"corep/internal/heap"
+	"corep/internal/obs"
 	"corep/internal/storage"
 )
 
@@ -129,6 +130,15 @@ func SortTemp(pool *buffer.Pool, in *Int64Temp, workMem int) (*Int64Temp, error)
 	if workMem < 2 {
 		workMem = 2
 	}
+	ob := pool.Obs()
+	sp := ob.Start("query.sort")
+	defer sp.End()
+	nruns := 0
+	defer func() {
+		sp.SetAttr("values", int64(in.Count()))
+		sp.SetAttr("runs", int64(nruns))
+		ob.Histogram("query.temp.values", obs.CountBuckets).Observe(float64(in.Count()))
+	}()
 	// Phase 1: produce sorted runs.
 	var runs []*Int64Temp
 	var cur []int64
@@ -165,6 +175,7 @@ func SortTemp(pool *buffer.Pool, in *Int64Temp, workMem int) (*Int64Temp, error)
 	if err := flush(); err != nil {
 		return nil, err
 	}
+	nruns = len(runs)
 	if len(runs) == 0 {
 		return NewInt64Temp(pool)
 	}
@@ -246,8 +257,13 @@ type KeyedIter interface {
 // calling fn once per outer value that finds a match. Duplicate outer
 // values re-emit the matching payload (plain BFS keeps duplicates,
 // §3.1); unmatched outer values are skipped. The payload passed to fn is
-// only valid during the call.
-func MergeJoin(outer Int64Iter, inner KeyedIter, fn func(key int64, payload []byte) (bool, error)) error {
+// only valid during the call. The span opened on ob attributes the
+// join's I/O (pass the zero Ctx to run uninstrumented).
+func MergeJoin(ob obs.Ctx, outer Int64Iter, inner KeyedIter, fn func(key int64, payload []byte) (bool, error)) error {
+	sp := ob.Start("query.mergejoin")
+	defer sp.End()
+	rows := int64(0)
+	defer func() { sp.SetAttr("rows", rows) }()
 	ov, ook, err := outer.Next()
 	if err != nil {
 		return err
@@ -271,6 +287,7 @@ func MergeJoin(outer Int64Iter, inner KeyedIter, fn func(key int64, payload []by
 				return err
 			}
 		default:
+			rows++
 			cont, err := fn(ik, ip)
 			if err != nil {
 				return err

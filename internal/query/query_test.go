@@ -9,6 +9,7 @@ import (
 	"corep/internal/btree"
 	"corep/internal/buffer"
 	"corep/internal/disk"
+	"corep/internal/obs"
 )
 
 func newPool() *buffer.Pool { return buffer.New(disk.NewSim(), 32) }
@@ -183,7 +184,7 @@ func TestMergeJoinAgainstBTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []string
-	err = MergeJoin(outer, btreeIter{it}, func(k int64, p []byte) (bool, error) {
+	err = MergeJoin(obs.Ctx{}, outer, btreeIter{it}, func(k int64, p []byte) (bool, error) {
 		got = append(got, string(p))
 		return true, nil
 	})
@@ -204,7 +205,7 @@ func TestMergeJoinEarlyStop(t *testing.T) {
 	}
 	it, _ := tr.SeekFirst()
 	n := 0
-	err := MergeJoin(NewSliceIter([]int64{0, 1, 2, 3}), btreeIter{it}, func(int64, []byte) (bool, error) {
+	err := MergeJoin(obs.Ctx{}, NewSliceIter([]int64{0, 1, 2, 3}), btreeIter{it}, func(int64, []byte) (bool, error) {
 		n++
 		return n < 2, nil
 	})
@@ -220,7 +221,7 @@ func TestMergeJoinEmptySides(t *testing.T) {
 	pool := newPool()
 	tr, _ := btree.Create(pool)
 	it, _ := tr.SeekFirst()
-	err := MergeJoin(NewSliceIter([]int64{1, 2}), btreeIter{it}, func(int64, []byte) (bool, error) {
+	err := MergeJoin(obs.Ctx{}, NewSliceIter([]int64{1, 2}), btreeIter{it}, func(int64, []byte) (bool, error) {
 		t.Fatal("emitted from empty inner")
 		return false, nil
 	})
@@ -229,7 +230,7 @@ func TestMergeJoinEmptySides(t *testing.T) {
 	}
 	_ = tr.Insert(1, []byte("x"))
 	it, _ = tr.SeekFirst()
-	err = MergeJoin(NewSliceIter(nil), btreeIter{it}, func(int64, []byte) (bool, error) {
+	err = MergeJoin(obs.Ctx{}, NewSliceIter(nil), btreeIter{it}, func(int64, []byte) (bool, error) {
 		t.Fatal("emitted from empty outer")
 		return false, nil
 	})
@@ -266,7 +267,7 @@ func TestMergeJoinMatchesNestedLoopProperty(t *testing.T) {
 		}
 		it, _ := tr.SeekFirst()
 		got := 0
-		err := MergeJoin(NewSliceIter(outer), btreeIter{it}, func(int64, []byte) (bool, error) {
+		err := MergeJoin(obs.Ctx{}, NewSliceIter(outer), btreeIter{it}, func(int64, []byte) (bool, error) {
 			got++
 			return true, nil
 		})

@@ -41,10 +41,13 @@ const sortPassFactor = 3
 
 func (b bfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
 	par := beginIO(db)
+	scanSp := db.Obs.Start("strategy.bfs/scan")
 	parents, err := scanParents(db, q.Lo, q.Hi)
 	if err != nil {
 		return nil, err
 	}
+	scanSp.SetAttr("parents", int64(len(parents)))
+	scanSp.End()
 	res := &Result{}
 	res.Split.Par = par.end()
 
@@ -52,6 +55,7 @@ func (b bfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
 	defer func() { res.Split.Child = child.end() }()
 
 	// Form one temporary per child relation, paying heap-file writes.
+	tempSp := db.Obs.Start("strategy.bfs/temp")
 	temps := make(map[uint16]*query.Int64Temp)
 	var relOrder []uint16
 	for _, p := range parents {
@@ -70,6 +74,8 @@ func (b bfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
 			}
 		}
 	}
+	tempSp.SetAttr("relations", int64(len(relOrder)))
+	tempSp.End()
 	// Keep relation order deterministic.
 	sort.Slice(relOrder, func(i, j int) bool { return relOrder[i] < relOrder[j] })
 
@@ -97,6 +103,7 @@ func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Tem
 		// BFSNODUP: "eliminate the duplicates before executing the above
 		// query" — sort the temp and keep distinct OIDs, then join with
 		// whichever method the (smaller) deduplicated temp favours.
+		dedupSp := db.Obs.Start("strategy.bfs/dedup")
 		sorted, err := query.SortTemp(db.Pool, tmp, tempValuesPerPage*8)
 		if err != nil {
 			return err
@@ -120,6 +127,9 @@ func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Tem
 		}
 		tmp = distinct
 		n = tmp.Count()
+		dedupSp.SetAttr("in", int64(sorted.Count()))
+		dedupSp.SetAttr("out", int64(n))
+		dedupSp.End()
 	}
 	tempPages := (n + tempValuesPerPage - 1) / tempValuesPerPage
 	probeCost := int64(n) * int64(rel.Tree.Height())
@@ -128,6 +138,9 @@ func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Tem
 	if probeCost <= mergeCost {
 		// Iterative substitution: "subobjects are fetched exactly as in
 		// DFS" — per-key probes driven by the temp.
+		probeSp := db.Obs.Start("strategy.bfs/probe")
+		probeSp.SetAttr("values", int64(n))
+		defer probeSp.End()
 		return tmp.Scan(func(key int64) (bool, error) {
 			rec, err := rel.Tree.Get(key)
 			if err != nil {
@@ -157,7 +170,7 @@ func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Tem
 		return err
 	}
 	defer it.Close()
-	return query.MergeJoin(outerTemp.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
+	return query.MergeJoin(db.Obs, outerTemp.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
 		v, err := tuple.DecodeField(db.ChildSchema, payload, attrIdx)
 		if err != nil {
 			return false, err

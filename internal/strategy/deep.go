@@ -199,7 +199,7 @@ func deepJoin(db *workload.TwoLevelDB, rel *catalog.Relation, tmp *query.Int64Te
 		return err
 	}
 	defer it.Close()
-	return query.MergeJoin(outer.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
+	return query.MergeJoin(db.Obs, outer.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
 		return true, emit(payload)
 	})
 }

@@ -14,14 +14,18 @@ func (dfs) Kind() Kind { return DFS }
 
 func (dfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
 	par := beginIO(db)
+	scanSp := db.Obs.Start("strategy.dfs/scan")
 	parents, err := scanParents(db, q.Lo, q.Hi)
 	if err != nil {
 		return nil, err
 	}
+	scanSp.SetAttr("parents", int64(len(parents)))
+	scanSp.End()
 	res := &Result{}
 	res.Split.Par = par.end()
 
 	child := beginIO(db)
+	probeSp := db.Obs.Start("strategy.dfs/probe")
 	for _, p := range parents {
 		for _, oid := range p.unit {
 			v, err := fetchChildAttr(db, oid, q.AttrIdx)
@@ -31,6 +35,8 @@ func (dfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
 			res.Values = append(res.Values, v)
 		}
 	}
+	probeSp.SetAttr("values", int64(len(res.Values)))
+	probeSp.End()
 	res.Split.Child = child.end()
 	return res, nil
 }

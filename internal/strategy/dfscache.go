@@ -41,14 +41,19 @@ func (c dfscache) cacheUnit(db *workload.DB, p parentRef) object.Unit {
 
 func (c dfscache) Retrieve(db *workload.DB, q Query) (*Result, error) {
 	par := beginIO(db)
+	scanSp := db.Obs.Start("strategy.dfscache/scan")
 	parents, err := scanParents(db, q.Lo, q.Hi)
 	if err != nil {
 		return nil, err
 	}
+	scanSp.SetAttr("parents", int64(len(parents)))
+	scanSp.End()
 	res := &Result{}
 	res.Split.Par = par.end()
 
 	child := beginIO(db)
+	probeSp := db.Obs.Start("strategy.dfscache/probe")
+	var cacheHits, materialized int64
 	for _, p := range parents {
 		unit := p.unit
 		key := c.cacheUnit(db, p)
@@ -57,12 +62,14 @@ func (c dfscache) Retrieve(db *workload.DB, q Query) (*Result, error) {
 			return nil, err
 		}
 		if ok {
+			cacheHits++
 			if err := projectUnitValue(db, value, q.AttrIdx, &res.Values); err != nil {
 				return nil, err
 			}
 			continue
 		}
 		// Materialize the unit, answer from it, and cache it.
+		materialized++
 		recs := make([][]byte, 0, len(unit))
 		for _, oid := range unit {
 			rel, err := db.ChildByRelID(oid.Rel())
@@ -83,6 +90,9 @@ func (c dfscache) Retrieve(db *workload.DB, q Query) (*Result, error) {
 			return nil, err
 		}
 	}
+	probeSp.SetAttr("cache_hits", cacheHits)
+	probeSp.SetAttr("materialized", materialized)
+	probeSp.End()
 	res.Split.Child = child.end()
 	return res, nil
 }

@@ -36,6 +36,15 @@ func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
 
 	res := &Result{}
 	var scanIO, fetchIO int64
+	// Scan and fetch interleave per cluster group, so one span covers the
+	// whole retrieve; the ParCost/ChildCost split travels as attributes.
+	sp := db.Obs.Start("strategy.dfsclust/retrieve")
+	defer func() {
+		sp.SetAttr("par_io", scanIO)
+		sp.SetAttr("child_io", fetchIO)
+		sp.SetAttr("values", int64(len(res.Values)))
+		sp.End()
+	}()
 
 	// One cluster# group: the parent's unit and the locally clustered
 	// subobject values.

@@ -27,14 +27,19 @@ func (s smart) Retrieve(db *workload.DB, q Query) (*Result, error) {
 	}
 
 	par := beginIO(db)
+	scanSp := db.Obs.Start("strategy.smart/scan")
 	parents, err := scanParents(db, q.Lo, q.Hi)
 	if err != nil {
 		return nil, err
 	}
+	scanSp.SetAttr("parents", int64(len(parents)))
+	scanSp.End()
 	res := &Result{}
 	res.Split.Par = par.end()
 
 	child := beginIO(db)
+	bfSp := db.Obs.Start("strategy.smart/bfpass")
+	defer bfSp.End()
 	// Cached units answer depth-first (one hash probe each); the rest
 	// feed per-relation temporaries for merge joins.
 	temps := make(map[uint16]*query.Int64Temp)
@@ -82,7 +87,7 @@ func (s smart) Retrieve(db *workload.DB, q Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		err = query.MergeJoin(sorted.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
+		err = query.MergeJoin(db.Obs, sorted.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
 			v, err := tuple.DecodeField(db.ChildSchema, payload, q.AttrIdx)
 			if err != nil {
 				return false, err

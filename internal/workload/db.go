@@ -12,6 +12,7 @@ import (
 	"corep/internal/disk"
 	"corep/internal/isam"
 	"corep/internal/object"
+	"corep/internal/obs"
 	"corep/internal/storage"
 	"corep/internal/tuple"
 )
@@ -57,9 +58,42 @@ type DB struct {
 	// Assignment is the clustering assignment (when Clustered).
 	Assignment *cluster.Assignment
 
+	// Obs is the observability context threaded to the strategies and
+	// operators running over this database. Zero value = disabled;
+	// installed by AttachObs.
+	Obs obs.Ctx
+
 	childByRelID map[uint16]*catalog.Relation
 	childCount   map[uint16]int
 	rng          *rand.Rand
+}
+
+// AttachObs wires an observability configuration to this database: the
+// tracer snapshots this DB's disk and pool counters, and the context is
+// propagated to the buffer pool and the cache so that operator- and
+// cache-level spans share one trace. Call with enabled options at most
+// once per database; each database gets its own tracer (spans assume
+// single-threaded use) while the sink and registry may be shared.
+func (db *DB) AttachObs(o obs.Options) {
+	ctx := obs.Ctx{Metrics: o.Metrics, Prefix: o.Prefix}
+	if o.Sink != nil {
+		ctx.Trace = obs.NewTracer(db.ioSnapshot, o.Sink)
+	}
+	db.Obs = ctx
+	db.Pool.SetObs(ctx)
+	if db.Cache != nil {
+		db.Cache.Obs = ctx
+	}
+}
+
+// ioSnapshot is the tracer's counter source: disk I/O plus pool events.
+func (db *DB) ioSnapshot() obs.IO {
+	ds := db.Disk.Stats()
+	ps := db.Pool.Stats()
+	return obs.IO{
+		Reads: ds.Reads, Writes: ds.Writes,
+		Hits: ps.Hits, Misses: ps.Misses, Flushes: ps.Flushes,
+	}
 }
 
 // Build generates a database per cfg. The buffer pool is flushed and
