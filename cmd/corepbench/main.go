@@ -23,11 +23,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"corep/internal/harness"
 	"corep/internal/obs"
+	"corep/internal/strategy"
+	"corep/internal/workload"
 )
 
 func main() { os.Exit(run()) }
@@ -45,6 +48,12 @@ func run() int {
 		trace    = flag.Bool("trace", false, "stream per-span JSON lines to stderr (see -trace-out)")
 		traceOut = flag.String("trace-out", "", "write the span stream to this file instead of stderr")
 		profile  = flag.String("profile", "", "write CPU and heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
+		parallel = flag.Int("parallel", 0, "worker goroutines for experiment grids (default GOMAXPROCS)")
+
+		throughput    = flag.Bool("throughput", false, "run the concurrent-serving throughput benchmark and exit")
+		throughputOut = flag.String("throughput-out", "BENCH_throughput.json", "where -throughput writes its JSON result")
+		clients       = flag.String("clients", "1,2,4,8", "client counts for -throughput, comma-separated")
+		shards        = flag.Int("shards", 8, "buffer-pool lock stripes for -throughput's sharded runs")
 	)
 	flag.Parse()
 
@@ -106,6 +115,7 @@ func run() int {
 	if *verify {
 		sc := harness.QuickScale
 		sc.Seed = *seed
+		sc.Parallel = *parallel
 		table, err := harness.VerifyAgreement(sc)
 		if table != nil {
 			table.Fprint(os.Stdout)
@@ -113,6 +123,54 @@ func run() int {
 		if err != nil {
 			return 1
 		}
+		return 0
+	}
+
+	if *throughput {
+		var counts []int
+		for _, s := range strings.Split(*clients, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -clients value %q\n", s)
+				return 2
+			}
+			counts = append(counts, n)
+		}
+		base := harness.ServeConfig{
+			DB:           workload.Config{NumParents: 2000, Seed: *seed, ProbeBatch: true},
+			Strategy:     strategy.DFS,
+			OpsPerClient: 40,
+			PrUpdate:     0.05,
+			NumTop:       8,
+		}
+		fmt.Printf("running throughput benchmark (clients=%v, shards=%d, seed=%d)...\n", counts, *shards, *seed)
+		bench, err := harness.RunThroughput(base, *shards, counts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: %v\n", err)
+			return 1
+		}
+		for i := range bench.Sharded {
+			fmt.Printf("  sharded  %s\n", bench.Sharded[i])
+			fmt.Printf("  baseline %s\n", bench.Baseline[i])
+		}
+		for k, s := range bench.Speedup {
+			fmt.Printf("  speedup %s: %.2fx\n", k, s)
+		}
+		f, err := os.Create(*throughputOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *throughputOut)
 		return 0
 	}
 
@@ -127,6 +185,7 @@ func run() int {
 		return 2
 	}
 	sc.Seed = *seed
+	sc.Parallel = *parallel
 	sc.Obs.Sink = sink
 
 	var runs []harness.Experiment

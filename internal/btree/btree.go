@@ -15,6 +15,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 
 	"corep/internal/buffer"
 	"corep/internal/disk"
@@ -375,6 +377,155 @@ func (t *Tree) Get(key int64) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
 	}
 	return payload, nil
+}
+
+// batchSortMin is the batch size below which GetBatch degenerates to a
+// per-key Get loop in input order. A handful of probes gains nothing
+// from sorting, and reordering them would perturb the buffer pool's
+// eviction sequence — small batches must cost exactly what the
+// equivalent Get loop costs.
+const batchSortMin = 16
+
+// GetBatch fetches the payloads of many keys in one page-ordered pass.
+// Keys are visited in ascending key order regardless of input order;
+// consecutive keys that land on the same leaf share a single pin, so a
+// batch of random probes costs at most one descent per distinct leaf
+// instead of one per key. Sweeps large enough to flood the buffer pool
+// additionally pin their leaves read-once (scan resistance), so the
+// pool's hot set survives repeated large batches. fn is called once per
+// requested index i with the payload of keys[i]; the payload slice
+// aliases the pinned page and is valid only until fn returns. Any
+// missing key aborts the batch with ErrNotFound, as Get would.
+func (t *Tree) GetBatch(keys []int64, fn func(i int, payload []byte) error) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if len(keys) < batchSortMin {
+		for i, k := range keys {
+			payload, err := t.Get(k)
+			if err != nil {
+				return err
+			}
+			if err := fn(i, payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if keys[order[a]] != keys[order[b]] {
+			return keys[order[a]] < keys[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	var (
+		leaf = disk.InvalidPageID
+		pg   storage.Page
+	)
+	unpin := func() {
+		if leaf != disk.InvalidPageID {
+			t.pool.Unpin(leaf, false)
+			leaf = disk.InvalidPageID
+		}
+	}
+	// Scan-resistant pins only when the sweep is big enough to flood the
+	// pool: mid-size batches benefit from the residency they build up,
+	// while a sweep filling most of the pool's frames would evict pages
+	// in exactly the order the next sweep needs them. The expected number
+	// of distinct leaves n random keys touch is the occupancy estimate
+	// L·(1−(1−1/L)^n).
+	L := float64(t.leaves)
+	distinct := L * (1 - math.Pow(1-1/L, float64(len(keys))))
+	scan := distinct >= 0.85*float64(t.pool.Capacity())
+	pin := func(id disk.PageID) error {
+		var (
+			b   []byte
+			err error
+		)
+		if scan {
+			b, err = t.pool.PinScan(id)
+		} else {
+			b, err = t.pool.Pin(id)
+		}
+		if err != nil {
+			return err
+		}
+		leaf, pg = id, storage.Page{Buf: b}
+		return nil
+	}
+	defer unpin()
+
+	for i := 0; i < len(order); {
+		k := keys[order[i]]
+		fresh := false
+		if leaf == disk.InvalidPageID {
+			id, err := t.descendToLeaf(entryRef{k, 0})
+			if err != nil {
+				return err
+			}
+			if err := pin(id); err != nil {
+				return err
+			}
+			fresh = true
+		}
+		if pos := t.lowerBound(pg, entryRef{k, 0}); pos < pg.NumSlots() {
+			rec, err := pg.Record(pos)
+			if err != nil {
+				return err
+			}
+			if leafEntryKey(rec).key != k {
+				// Keys are ascending and everything before pos is < k, so k
+				// is nowhere in the tree.
+				return fmt.Errorf("%w: %d", ErrNotFound, k)
+			}
+			if err := fn(order[i], rec[leafHdr:]); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		// k lies beyond this leaf's last entry.
+		if !fresh {
+			// Cached leaf from an earlier key: k may be far away, so
+			// re-descend rather than chain-walk.
+			unpin()
+			continue
+		}
+		// Freshly descended: the entry, if present, opens the next
+		// non-empty leaf (the same walk Get does via its iterator).
+		next := pg.Next()
+		unpin()
+		for next != disk.InvalidPageID {
+			if err := pin(next); err != nil {
+				return err
+			}
+			if pg.NumSlots() > 0 {
+				break
+			}
+			next = pg.Next()
+			unpin()
+		}
+		if leaf == disk.InvalidPageID {
+			return fmt.Errorf("%w: %d", ErrNotFound, k)
+		}
+		rec, err := pg.Record(0)
+		if err != nil {
+			return err
+		}
+		if leafEntryKey(rec).key != k {
+			return fmt.Errorf("%w: %d", ErrNotFound, k)
+		}
+		if err := fn(order[i], rec[leafHdr:]); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
 }
 
 // Update replaces the payload of the first entry with exactly key. The

@@ -9,7 +9,10 @@ import (
 func poolWith(t *testing.T, policy Policy, capacity, pages int) (*Pool, *disk.Sim, []disk.PageID) {
 	t.Helper()
 	d := disk.NewSim()
-	p := NewWithPolicy(d, capacity, policy)
+	p, err := NewWithPolicy(d, capacity, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ids := make([]disk.PageID, pages)
 	buf := make([]byte, disk.PageSize)
 	for i := range ids {

@@ -5,13 +5,22 @@
 // size of 100 INGRES data pages was used throughout our study" (§4). A
 // page access that hits the pool is free; a miss costs one disk read,
 // and evicting a dirty frame costs one disk write. Replacement is LRU.
+//
+// For concurrent serving the pool is lock-striped: frames are divided
+// into shards keyed by page id, each with its own mutex, frame table and
+// replacement state, so readers touching different pages do not contend.
+// A single-shard pool (the default, and what every paper experiment
+// uses) behaves exactly like the classic single-mutex pool — eviction
+// decisions, and therefore simulated I/O counts, are unchanged.
 package buffer
 
 import (
 	"container/list"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"corep/internal/disk"
 	"corep/internal/obs"
@@ -41,8 +50,11 @@ func (p Policy) String() string {
 	case Random:
 		return "random"
 	}
-	return "policy?"
+	return fmt.Sprintf("unknown(%d)", uint8(p))
 }
+
+// Valid reports whether p names a known replacement policy.
+func (p Policy) Valid() bool { return p <= Random }
 
 // Stats counts buffer-pool events. Disk-level reads/writes are tracked
 // by the disk manager; these counters describe pool behaviour.
@@ -86,14 +98,21 @@ type frame struct {
 	buf   []byte
 	pins  int
 	dirty bool
-	ref   bool          // Clock reference bit, set on every pin
-	lru   *list.Element // position in the replacement list; nil while pinned
+	ref   bool // Clock reference bit, set on every pin
+	// scan marks a frame loaded by a batch sweep (PinScan miss). Scan
+	// frames are unpinned to the eviction end of the replacement list, so
+	// a sorted sweep larger than the pool churns one slot instead of
+	// flushing the resident set (LRU sequential flooding). A normal Pin
+	// hit clears the mark — genuinely reused pages become hot.
+	scan bool
+	lru  *list.Element // position in the replacement list; nil while pinned
 }
 
-// Pool is a fixed-capacity LRU buffer pool. It is safe for concurrent
-// use, though the experiments are single-threaded (as was the paper's
-// driver program).
-type Pool struct {
+// shard is one stripe of the pool: a fixed-capacity frame table with its
+// own lock and replacement state. A page id always maps to the same
+// shard, so per-page exclusion (frame lookup, disk transfer of that
+// page) is provided by the shard mutex.
+type shard struct {
 	mu     sync.Mutex
 	dm     disk.Manager
 	cap    int
@@ -101,145 +120,293 @@ type Pool struct {
 	rng    *rand.Rand
 	frames map[disk.PageID]*frame
 	lru    *list.List // unpinned frames, front = least recently used
-	stats  Stats
-	obs    obs.Ctx
+
+	hits, misses, flushes, pins atomic.Int64
 }
 
-// New creates an LRU pool of capacity pages over dm. Capacity must be ≥ 1.
+// Pool is a fixed-capacity buffer pool striped into one or more shards.
+// It is safe for concurrent use; with a single shard (the default) its
+// replacement behaviour is identical to the classic global-mutex pool.
+type Pool struct {
+	dm     disk.Manager
+	cap    int
+	policy Policy
+	shards []*shard
+
+	obsMu sync.Mutex
+	obs   obs.Ctx
+}
+
+// New creates a single-shard LRU pool of capacity pages over dm.
+// Capacity must be ≥ 1.
 func New(dm disk.Manager, capacity int) *Pool {
-	return NewWithPolicy(dm, capacity, LRU)
+	p, err := NewSharded(dm, capacity, LRU, 1)
+	if err != nil {
+		panic("buffer: " + err.Error())
+	}
+	return p
 }
 
-// NewWithPolicy creates a pool with an explicit replacement policy.
-func NewWithPolicy(dm disk.Manager, capacity int, policy Policy) *Pool {
+// NewWithPolicy creates a single-shard pool with an explicit replacement
+// policy, rejecting unknown policies.
+func NewWithPolicy(dm disk.Manager, capacity int, policy Policy) (*Pool, error) {
+	return NewSharded(dm, capacity, policy, 1)
+}
+
+// NewSharded creates a pool striped into numShards shards. Capacity is
+// the total frame count, distributed as evenly as possible; the shard
+// count is clamped so every shard holds at least one frame. Shard 0 of a
+// single-shard pool uses the same deterministic RNG seed as the historic
+// global pool, so experiments that depend on Random-policy eviction
+// order reproduce exactly.
+func NewSharded(dm disk.Manager, capacity int, policy Policy, numShards int) (*Pool, error) {
 	if capacity < 1 {
-		panic("buffer: capacity must be >= 1")
+		return nil, fmt.Errorf("capacity must be >= 1, got %d", capacity)
 	}
-	return &Pool{
-		dm: dm, cap: capacity, policy: policy,
-		rng:    rand.New(rand.NewSource(int64(capacity) + int64(policy))),
-		frames: make(map[disk.PageID]*frame, capacity),
-		lru:    list.New(),
+	if !policy.Valid() {
+		return nil, fmt.Errorf("unknown replacement policy %s", policy)
 	}
+	if numShards < 1 {
+		numShards = 1
+	}
+	if numShards > capacity {
+		numShards = capacity
+	}
+	p := &Pool{dm: dm, cap: capacity, policy: policy, shards: make([]*shard, numShards)}
+	base, extra := capacity/numShards, capacity%numShards
+	for i := range p.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		p.shards[i] = &shard{
+			dm: dm, cap: c, policy: policy,
+			rng:    rand.New(rand.NewSource(int64(capacity) + int64(policy) + int64(i)*7919)),
+			frames: make(map[disk.PageID]*frame, c),
+			lru:    list.New(),
+		}
+	}
+	return p, nil
 }
 
 // PolicyName returns the replacement policy in use.
 func (p *Pool) PolicyName() Policy { return p.policy }
 
-// Capacity returns the number of frames in the pool.
+// Capacity returns the total number of frames in the pool.
 func (p *Pool) Capacity() int { return p.cap }
+
+// NumShards returns the number of lock stripes.
+func (p *Pool) NumShards() int { return len(p.shards) }
 
 // Disk returns the underlying disk manager.
 func (p *Pool) Disk() disk.Manager { return p.dm }
 
-// Stats returns a snapshot of the pool counters.
+// shardFor maps a page id to its stripe. The multiplier is the 64-bit
+// Fibonacci hashing constant; with one shard the answer is always 0.
+func (p *Pool) shardFor(id disk.PageID) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return p.shards[h%uint64(len(p.shards))]
+}
+
+// Stats returns a snapshot of the pool counters summed over shards.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var s Stats
+	for _, sh := range p.shards {
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Flushes += sh.flushes.Load()
+		s.Pins += sh.pins.Load()
+	}
+	return s
 }
 
 // SetObs installs the observability context operators below the workload
 // layer (query.SortTemp) reach through the pool they already hold.
 func (p *Pool) SetObs(ctx obs.Ctx) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.obsMu.Lock()
+	defer p.obsMu.Unlock()
 	p.obs = ctx
 }
 
 // Obs returns the installed observability context (zero Ctx when unset).
 func (p *Pool) Obs() obs.Ctx {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.obsMu.Lock()
+	defer p.obsMu.Unlock()
 	return p.obs
 }
 
 // Resident returns the number of frames currently holding a page — the
 // buffer-pool residency gauge.
 func (p *Pool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Pin fetches page id into the pool and pins it. The returned buffer is
 // the frame's backing store: it stays valid until the matching Unpin.
 // Callers that modify the buffer must pass dirty=true to Unpin.
 func (p *Pool) Pin(id disk.PageID) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Pins++
-	if f, ok := p.frames[id]; ok {
-		p.stats.Hits++
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pinLockedFetch(id)
+}
+
+// pinLockedFetch is Pin's body, run under the shard lock.
+func (s *shard) pinLockedFetch(id disk.PageID) ([]byte, error) {
+	s.pins.Add(1)
+	if f, ok := s.frames[id]; ok {
+		s.hits.Add(1)
 		f.ref = true
-		p.pinLocked(f)
+		f.scan = false
+		s.pinLocked(f)
 		return f.buf, nil
 	}
-	p.stats.Misses++
-	f, err := p.victimLocked()
+	s.misses.Add(1)
+	f, err := s.victimLocked()
 	if err != nil {
 		return nil, err
 	}
-	if err := p.dm.Read(id, f.buf); err != nil {
-		p.freeFrameLocked(f)
+	if err := s.dm.Read(id, f.buf); err != nil {
 		return nil, err
 	}
-	f.id, f.pins, f.dirty = id, 1, false
-	p.frames[id] = f
+	f.id, f.pins, f.dirty, f.scan = id, 1, false, false
+	s.frames[id] = f
 	return f.buf, nil
+}
+
+// PinScan is Pin for page-ordered batch sweeps (GetBatch): a resident
+// page is pinned without touching its replacement state, while a page
+// the sweep has to load from disk is marked read-once, so unpinning it
+// sends it to the eviction end instead of displacing the hot set.
+func (p *Pool) PinScan(id disk.PageID) ([]byte, error) {
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pins.Add(1)
+	if f, ok := s.frames[id]; ok {
+		s.hits.Add(1)
+		s.pinLocked(f)
+		return f.buf, nil
+	}
+	s.misses.Add(1)
+	f, err := s.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.dm.Read(id, f.buf); err != nil {
+		return nil, err
+	}
+	f.id, f.pins, f.dirty, f.scan, f.ref = id, 1, false, true, false
+	s.frames[id] = f
+	return f.buf, nil
+}
+
+// GetBatch pins every page of ids in ascending page order, deduplicating
+// repeated ids so each distinct page is pinned (and, on a miss, read)
+// once, and calls fn(i, buf) for each requested index i with its page's
+// buffer while the page is pinned. The buffers are read-only for fn;
+// every pin is released before GetBatch returns. Sorting converts a
+// random probe set into one sequential sweep — the page-ordered access
+// pattern behind Database.FetchBatch.
+func (p *Pool) GetBatch(ids []disk.PageID, fn func(i int, buf []byte) error) error {
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if ids[order[a]] != ids[order[b]] {
+			return ids[order[a]] < ids[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	for i := 0; i < len(order); {
+		id := ids[order[i]]
+		buf, err := p.PinScan(id)
+		if err != nil {
+			return err
+		}
+		for ; i < len(order) && ids[order[i]] == id; i++ {
+			if err := fn(order[i], buf); err != nil {
+				p.Unpin(id, false)
+				return err
+			}
+		}
+		p.Unpin(id, false)
+	}
+	return nil
 }
 
 // NewPage allocates a fresh disk page, pins it and returns its id and
 // buffer. The frame starts dirty (it must reach disk eventually).
 func (p *Pool) NewPage() (disk.PageID, []byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Pins++
 	id, err := p.dm.Alloc()
 	if err != nil {
 		return disk.InvalidPageID, nil, err
 	}
-	f, err := p.victimLocked()
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pins.Add(1)
+	f, err := s.victimLocked()
 	if err != nil {
 		return disk.InvalidPageID, nil, err
 	}
 	for i := range f.buf {
 		f.buf[i] = 0
 	}
-	f.id, f.pins, f.dirty = id, 1, true
-	p.frames[id] = f
+	f.id, f.pins, f.dirty, f.scan = id, 1, true, false
+	s.frames[id] = f
 	return id, f.buf, nil
 }
 
 // Unpin releases one pin on page id; dirty marks the frame as modified.
 func (p *Pool) Unpin(id disk.PageID, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok || f.pins == 0 {
 		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", id))
 	}
 	f.dirty = f.dirty || dirty
 	f.pins--
 	if f.pins == 0 {
-		f.lru = p.lru.PushBack(f)
+		if f.scan {
+			// Read-once sweep page: next in line for eviction.
+			f.lru = s.lru.PushFront(f)
+		} else {
+			f.lru = s.lru.PushBack(f)
+		}
 	}
 }
 
 // FlushAll writes every dirty frame back to disk (pool contents are
 // kept). Used between experiment phases so that load-time dirt is not
-// charged to the measured queries.
+// charged to the measured queries. Shards are flushed one at a time
+// under their own locks, so FlushAll is safe against concurrent readers.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.dirty {
-			if err := p.dm.Write(f.id, f.buf); err != nil {
-				return err
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.dirty {
+				if err := s.dm.Write(f.id, f.buf); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				f.dirty = false
+				s.flushes.Add(1)
 			}
-			f.dirty = false
-			p.stats.Flushes++
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -247,21 +414,25 @@ func (p *Pool) FlushAll() error {
 // Invalidate drops every unpinned frame after flushing dirty ones,
 // leaving the pool cold. Experiments call this between query sequences.
 func (p *Pool) Invalidate() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for id, f := range p.frames {
-		if f.pins > 0 {
-			return fmt.Errorf("buffer: invalidate with pinned page %d", id)
-		}
-		if f.dirty {
-			if err := p.dm.Write(f.id, f.buf); err != nil {
-				return err
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for id, f := range s.frames {
+			if f.pins > 0 {
+				s.mu.Unlock()
+				return fmt.Errorf("buffer: invalidate with pinned page %d", id)
 			}
-			f.dirty = false
-			p.stats.Flushes++
+			if f.dirty {
+				if err := s.dm.Write(f.id, f.buf); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				f.dirty = false
+				s.flushes.Add(1)
+			}
+			s.lru.Remove(f.lru)
+			delete(s.frames, id)
 		}
-		p.lru.Remove(f.lru)
-		delete(p.frames, id)
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -269,85 +440,83 @@ func (p *Pool) Invalidate() error {
 // PinnedCount returns the number of currently pinned frames (testing aid;
 // every operator must leave this at zero when it finishes).
 func (p *Pool) PinnedCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, f := range p.frames {
-		if f.pins > 0 {
-			n++
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.pins > 0 {
+				n++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
-func (p *Pool) pinLocked(f *frame) {
+func (s *shard) pinLocked(f *frame) {
 	if f.pins == 0 && f.lru != nil {
-		p.lru.Remove(f.lru)
+		s.lru.Remove(f.lru)
 		f.lru = nil
 	}
 	f.pins++
 }
 
-// victimLocked returns a free frame, evicting the LRU unpinned frame if
-// the pool is full. The returned frame is detached from the map/LRU.
-func (p *Pool) victimLocked() (*frame, error) {
-	if len(p.frames) < p.cap {
+// victimLocked returns a free frame, evicting the shard's replacement
+// choice if the shard is full. The returned frame is detached from the
+// map/LRU.
+func (s *shard) victimLocked() (*frame, error) {
+	if len(s.frames) < s.cap {
 		return &frame{buf: make([]byte, disk.PageSize)}, nil
 	}
-	el := p.chooseVictimLocked()
+	el := s.chooseVictimLocked()
 	if el == nil {
-		return nil, fmt.Errorf("buffer: all %d frames pinned", p.cap)
+		return nil, fmt.Errorf("buffer: all %d frames of shard pinned", s.cap)
 	}
 	f := el.Value.(*frame)
 	// Write back before detaching: if the write fails, the dirty frame
 	// stays resident and no data is lost.
 	if f.dirty {
-		if err := p.dm.Write(f.id, f.buf); err != nil {
+		if err := s.dm.Write(f.id, f.buf); err != nil {
 			return nil, err
 		}
 		f.dirty = false
-		p.stats.Flushes++
+		s.flushes.Add(1)
 	}
-	p.lru.Remove(el)
+	s.lru.Remove(el)
 	f.lru = nil
-	delete(p.frames, f.id)
+	delete(s.frames, f.id)
 	return f, nil
 }
 
 // chooseVictimLocked picks the element to evict per the policy; the
 // list holds only unpinned frames.
-func (p *Pool) chooseVictimLocked() *list.Element {
-	n := p.lru.Len()
+func (s *shard) chooseVictimLocked() *list.Element {
+	n := s.lru.Len()
 	if n == 0 {
 		return nil
 	}
-	switch p.policy {
+	switch s.policy {
 	case Clock:
 		// Second chance: rotate referenced frames to the back, clearing
 		// their bit; bounded by one full sweep plus one.
 		for i := 0; i <= n; i++ {
-			el := p.lru.Front()
+			el := s.lru.Front()
 			f := el.Value.(*frame)
 			if !f.ref {
 				return el
 			}
 			f.ref = false
-			p.lru.MoveToBack(el)
+			s.lru.MoveToBack(el)
 		}
-		return p.lru.Front()
+		return s.lru.Front()
 	case Random:
-		k := p.rng.Intn(n)
-		el := p.lru.Front()
+		k := s.rng.Intn(n)
+		el := s.lru.Front()
 		for i := 0; i < k; i++ {
 			el = el.Next()
 		}
 		return el
 	default: // LRU
-		return p.lru.Front()
+		return s.lru.Front()
 	}
-}
-
-func (p *Pool) freeFrameLocked(f *frame) {
-	// The frame was never entered into the map; nothing to do — it is
-	// garbage collected. Capacity accounting is by map size.
 }

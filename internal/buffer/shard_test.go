@@ -1,0 +1,235 @@
+package buffer
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"corep/internal/disk"
+)
+
+func TestNewShardedRejectsUnknownPolicy(t *testing.T) {
+	d := disk.NewSim()
+	if _, err := NewSharded(d, 8, Policy(9), 2); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := NewWithPolicy(d, 8, Policy(42)); err == nil {
+		t.Fatal("unknown policy accepted by NewWithPolicy")
+	}
+}
+
+func TestPolicyStringUnknown(t *testing.T) {
+	if got := Policy(7).String(); got != "unknown(7)" {
+		t.Fatalf("Policy(7).String() = %q", got)
+	}
+	for p, want := range map[Policy]string{LRU: "lru", Clock: "clock", Random: "random"} {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+		if !p.Valid() {
+			t.Fatalf("%s not valid", want)
+		}
+	}
+	if Policy(9).Valid() {
+		t.Fatal("Policy(9) valid")
+	}
+}
+
+func TestShardCountClamped(t *testing.T) {
+	d := disk.NewSim()
+	p, err := NewSharded(d, 3, LRU, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumShards() != 3 {
+		t.Fatalf("shards = %d, want clamp to capacity 3", p.NumShards())
+	}
+	if p.Capacity() != 3 {
+		t.Fatalf("capacity = %d", p.Capacity())
+	}
+	p, err = NewSharded(d, 8, LRU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumShards() != 1 {
+		t.Fatalf("shards = %d, want 1 for numShards=0", p.NumShards())
+	}
+}
+
+func TestShardedPoolContentsAndStats(t *testing.T) {
+	d := disk.NewSim()
+	p, err := NewSharded(d, 8, LRU, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := mkPages(t, d, 40)
+	for round := 0; round < 2; round++ {
+		for i, id := range ids {
+			buf, err := p.Pin(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if buf[0] != byte(i) {
+				t.Fatalf("page %d content = %d", i, buf[0])
+			}
+			p.Unpin(id, false)
+		}
+	}
+	s := p.Stats()
+	if s.Hits+s.Misses != 80 {
+		t.Fatalf("hits %d + misses %d != 80", s.Hits, s.Misses)
+	}
+	if s.Misses < 40 {
+		t.Fatalf("misses = %d, want >= 40 (40 distinct pages, pool of 8)", s.Misses)
+	}
+	if p.Resident() > 8 {
+		t.Fatalf("resident = %d > capacity", p.Resident())
+	}
+}
+
+func TestShardedFlushAllAndInvalidate(t *testing.T) {
+	d := disk.NewSim()
+	p, err := NewSharded(d, 8, LRU, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := mkPages(t, d, 6)
+	for i, id := range ids {
+		buf, err := p.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[1] = byte(i + 100)
+		p.Unpin(id, true)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, disk.PageSize)
+	for i, id := range ids {
+		if err := d.Read(id, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[1] != byte(i+100) {
+			t.Fatalf("page %d not flushed", i)
+		}
+	}
+	if err := p.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Resident() != 0 {
+		t.Fatalf("resident after invalidate = %d", p.Resident())
+	}
+}
+
+// TestSingleShardMatchesLegacyEviction pins the sharded refactor to the
+// seed behaviour: a 1-shard pool must evict exactly like the historic
+// global pool (TestLRUEviction exercises it through New, which is
+// 1-shard by construction). Here we double-check the explicit path.
+func TestSingleShardMatchesLegacyEviction(t *testing.T) {
+	d := disk.NewSim()
+	p, err := NewSharded(d, 2, LRU, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := mkPages(t, d, 3)
+	for _, id := range ids[:2] {
+		if _, err := p.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id, false)
+	}
+	if _, err := p.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	if _, err := p.Pin(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[2], false)
+	d.ResetStats()
+	if _, err := p.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ids[0], false)
+	if ds := d.Stats(); ds.Reads != 0 {
+		t.Fatalf("LRU victim wrong: page 0 evicted")
+	}
+}
+
+func TestShardedConcurrentPins(t *testing.T) {
+	// Hammer a sharded pool from many goroutines; under -race this is the
+	// pool's thread-safety proof, without it still checks contents survive
+	// concurrent eviction. Writers stay on goroutine-private pages so page
+	// contents are deterministic.
+	d := disk.NewSim()
+	p, err := NewSharded(d, 16, LRU, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 64
+	ids := mkPages(t, d, pages)
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for n := 0; n < 300; n++ {
+				i := rng.Intn(pages)
+				buf, err := p.Pin(ids[i])
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+				if buf[0] != byte(i) {
+					errc <- fmt.Errorf("goroutine %d: page %d content = %d", g, i, buf[0])
+					p.Unpin(ids[i], false)
+					return
+				}
+				p.Unpin(ids[i], false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Hits+s.Misses != 8*300 {
+		t.Fatalf("hits %d + misses %d != %d", s.Hits, s.Misses, 8*300)
+	}
+}
+
+func TestGetBatchSharesPageFetches(t *testing.T) {
+	d := disk.NewSim()
+	p, err := NewSharded(d, 4, LRU, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := mkPages(t, d, 3)
+	// Probe page 2, then 0, then 2 again: the batch sorts and dedups, so
+	// only two distinct pages are read while the callback still sees the
+	// requested order positions.
+	req := []disk.PageID{ids[2], ids[0], ids[2]}
+	got := make([]byte, len(req))
+	err = p.GetBatch(req, func(i int, buf []byte) error {
+		got[i] = buf[0]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("batch contents = %v", got)
+	}
+	if ds := d.Stats(); ds.Reads != 2 {
+		t.Fatalf("reads = %d, want 2 (same-page probes deduplicated)", ds.Reads)
+	}
+	if p.PinnedCount() != 0 {
+		t.Fatalf("pins leaked: %d", p.PinnedCount())
+	}
+}

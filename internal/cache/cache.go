@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"corep/internal/buffer"
 	"corep/internal/hashfile"
@@ -71,6 +72,11 @@ func (s Stats) Counters() []obs.KV {
 // Cache is an outside value cache with bounded capacity (SizeCache,
 // "the maximum number of units that can be cached", §4 [3]).
 type Cache struct {
+	// mu serializes every cache operation, including the hash-file I/O
+	// underneath: concurrent readers insert into the cache (lookup-miss →
+	// materialize → Insert), so the cache must be internally consistent
+	// even when callers hold only a shared latch. See DESIGN.md.
+	mu       sync.Mutex
 	file     *hashfile.File
 	maxUnits int
 	rng      *rand.Rand
@@ -110,18 +116,28 @@ func New(pool *buffer.Pool, maxUnits, buckets int, seed int64) (*Cache, error) {
 }
 
 // Len returns the number of cached units.
-func (c *Cache) Len() int { return len(c.units) }
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.units)
+}
 
 // Capacity returns SizeCache.
 func (c *Cache) Capacity() int { return c.maxUnits }
 
 // Stats returns a snapshot of the cache counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // IsCached reports whether the unit is cached, consulting only the
 // in-memory directory (no I/O) — SMART's breadth-first pass uses this to
 // decide which OIDs go to the temporary (§5.3).
 func (c *Cache) IsCached(u object.Unit) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	_, ok := c.units[u.HashKey()]
 	return ok
 }
@@ -153,6 +169,8 @@ func numSegments(valueLen int) int {
 // stored segment on hit. ok=false means a miss (no I/O is charged: the
 // directory is memory resident).
 func (c *Cache) Lookup(u object.Unit) (value []byte, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	key := u.HashKey()
 	segs, cached := c.segments[key]
 	if !cached {
@@ -189,6 +207,8 @@ func (c *Cache) Insert(u object.Unit, value []byte) error {
 // this: the key derives from the stored query, but invalidation must
 // fire when any *result* tuple updates.
 func (c *Cache) InsertWithLocks(u object.Unit, locks []object.OID, value []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	sp := c.Obs.Start("cache.insert")
 	defer sp.End()
 	sp.SetAttr("bytes", int64(len(value)))
@@ -279,6 +299,8 @@ func (c *Cache) drop(key int64) error {
 // hash-file delete I/O — the invalidation cost that makes caching lose
 // when Pr(UPDATE) → 1 (§5.2.1).
 func (c *Cache) Invalidate(updated object.OID) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	locks := c.ilocks[updated]
 	if len(locks) == 0 {
 		return 0, nil
@@ -302,6 +324,8 @@ func (c *Cache) Invalidate(updated object.OID) (int, error) {
 
 // Clear empties the cache (between experiment configurations).
 func (c *Cache) Clear() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	keys := make([]int64, 0, len(c.units))
 	for k := range c.units {
 		keys = append(keys, k)
@@ -319,6 +343,8 @@ func (c *Cache) Clear() error {
 // file agrees with the directory. Tests call this after randomized
 // workloads.
 func (c *Cache) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for key, u := range c.units {
 		for _, oid := range u {
 			if _, ok := c.ilocks[oid][key]; !ok {

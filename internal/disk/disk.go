@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"corep/internal/obs"
 )
@@ -95,10 +97,26 @@ type Manager interface {
 // Sim is the in-memory simulated disk. Its only job is to hold pages and
 // count the traffic. A FaultFunc may be installed to inject errors for
 // failure testing.
+//
+// Counters are atomic and page transfers take only a read lock, so
+// concurrent readers through a sharded buffer pool never serialize here.
+// Two overlapping Writes to the *same* page would race on its contents;
+// the buffer pool rules that out (a page belongs to exactly one shard,
+// and transfers happen under that shard's mutex).
 type Sim struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex // guards pages slice growth and fault
 	pages [][]byte
-	stats Stats
+
+	reads, writes, allocs atomic.Int64
+
+	// latency, when non-zero, is slept per page transfer (ns). The
+	// counters stay the yardstick for the paper's experiments (latency
+	// defaults to 0 and never changes a count); the concurrent serving
+	// benchmark sets it so that throughput reflects how much device wait
+	// the buffer-pool stripes can overlap. The sleep happens while the
+	// calling pool shard holds its lock — exactly the serialization a
+	// single-mutex pool imposes on every client.
+	latency atomic.Int64
 
 	// fault, when non-nil, is consulted before every operation; a non-nil
 	// return aborts the operation with that error.
@@ -119,6 +137,19 @@ func (d *Sim) SetFault(f FaultFunc) {
 	d.fault = f
 }
 
+// SetLatency installs a simulated per-page-transfer device latency
+// (0 disables, the default). Safe to call concurrently.
+func (d *Sim) SetLatency(l time.Duration) { d.latency.Store(int64(l)) }
+
+// simulateLatency sleeps the configured device latency, if any. Called
+// after the page transfer, outside d.mu, so metadata operations (Alloc,
+// SetFault) are not blocked by sleeping transfers.
+func (d *Sim) simulateLatency() {
+	if l := d.latency.Load(); l > 0 {
+		time.Sleep(time.Duration(l))
+	}
+}
+
 // Alloc reserves a fresh zeroed page. The first allocated id is 1 so that
 // InvalidPageID (0) never refers to a real page.
 func (d *Sim) Alloc() (PageID, error) {
@@ -131,7 +162,7 @@ func (d *Sim) Alloc() (PageID, error) {
 		}
 	}
 	d.pages = append(d.pages, make([]byte, PageSize))
-	d.stats.Allocs++
+	d.allocs.Add(1)
 	return id, nil
 }
 
@@ -140,19 +171,22 @@ func (d *Sim) Read(id PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return ErrBadPageSize
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
 	if d.fault != nil {
 		if err := d.fault("read", id); err != nil {
+			d.mu.RUnlock()
 			return err
 		}
 	}
 	p, err := d.page(id)
 	if err != nil {
+		d.mu.RUnlock()
 		return err
 	}
 	copy(buf, p)
-	d.stats.Reads++
+	d.mu.RUnlock()
+	d.reads.Add(1)
+	d.simulateLatency()
 	return nil
 }
 
@@ -161,41 +195,41 @@ func (d *Sim) Write(id PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return ErrBadPageSize
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
 	if d.fault != nil {
 		if err := d.fault("write", id); err != nil {
+			d.mu.RUnlock()
 			return err
 		}
 	}
 	p, err := d.page(id)
 	if err != nil {
+		d.mu.RUnlock()
 		return err
 	}
 	copy(p, buf)
-	d.stats.Writes++
+	d.mu.RUnlock()
+	d.writes.Add(1)
+	d.simulateLatency()
 	return nil
 }
 
 // Stats returns a snapshot of the I/O counters.
 func (d *Sim) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{Reads: d.reads.Load(), Writes: d.writes.Load(), Allocs: d.allocs.Load()}
 }
 
 // ResetStats zeroes the I/O counters (allocation count is preserved so
 // page ids stay consistent).
 func (d *Sim) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats.Reads, d.stats.Writes = 0, 0
+	d.reads.Store(0)
+	d.writes.Store(0)
 }
 
 // NumPages returns the number of allocated pages.
 func (d *Sim) NumPages() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.pages)
 }
 

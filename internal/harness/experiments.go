@@ -19,6 +19,10 @@ type Scale struct {
 	MaxRetrieves int
 	Seed         int64
 
+	// Parallel bounds the worker goroutines used for grid batches
+	// (corepbench -parallel); 0 means GOMAXPROCS.
+	Parallel int
+
 	// Obs is forwarded to every measured run of the experiment; the
 	// zero value collects nothing.
 	Obs obs.Options

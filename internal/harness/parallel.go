@@ -20,10 +20,16 @@ type gridReq struct {
 	pr     float64
 }
 
-// runBatch executes reqs concurrently (bounded by GOMAXPROCS) and
-// returns measurements in request order. The first error aborts.
+// runBatch executes reqs concurrently (bounded by Scale.Parallel, or
+// GOMAXPROCS when unset) and returns measurements in request order. The
+// first error cancels the dispatch of every remaining request; in-flight
+// measurements finish, and the first error (in dispatch order) is
+// returned.
 func (sc Scale) runBatch(reqs []gridReq) ([]*Measurement, error) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := sc.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
@@ -34,6 +40,8 @@ func (sc Scale) runBatch(reqs []gridReq) ([]*Measurement, error) {
 	errs := make([]error, len(reqs))
 	var wg sync.WaitGroup
 	next := make(chan int)
+	cancel := make(chan struct{})
+	var once sync.Once
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -41,11 +49,20 @@ func (sc Scale) runBatch(reqs []gridReq) ([]*Measurement, error) {
 			for i := range next {
 				m, err := sc.run(reqs[i].cfg, reqs[i].kind, reqs[i].numTop, reqs[i].pr)
 				out[i], errs[i] = m, err
+				if err != nil {
+					once.Do(func() { close(cancel) })
+					return
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := range reqs {
-		next <- i
+		select {
+		case next <- i:
+		case <-cancel:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -1,0 +1,252 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corep/internal/strategy"
+	"corep/internal/workload"
+)
+
+// ServeConfig configures one concurrent serving run: K client goroutines
+// issuing the paper's retrieve/update mix against a single shared
+// database.
+type ServeConfig struct {
+	DB       workload.Config
+	Strategy strategy.Kind
+
+	Clients      int // concurrent client goroutines (K)
+	OpsPerClient int // operations each client issues
+	PrUpdate     float64
+	NumTop       int
+
+	// DiskLatency is slept by the simulated disk per page transfer
+	// (0 = none). Serving throughput is about overlapping device waits
+	// across pool stripes, so the benchmark models a wait to overlap;
+	// I/O counts are unaffected.
+	DiskLatency time.Duration
+}
+
+// ServeResult is the outcome of one Serve run: throughput plus
+// wall-clock latency percentiles across every completed operation.
+type ServeResult struct {
+	Clients   int           `json:"clients"`
+	Shards    int           `json:"pool_shards"`
+	Retrieves int           `json:"retrieves"`
+	Updates   int           `json:"updates"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	QPS       float64       `json:"qps"`
+
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+
+	TotalIO int64 `json:"total_io"`
+}
+
+func (r *ServeResult) String() string {
+	return fmt.Sprintf("K=%d shards=%d: %.0f qps (%d retr + %d upd in %s; p50=%s p99=%s)",
+		r.Clients, r.Shards, r.QPS, r.Retrieves, r.Updates,
+		r.Elapsed.Round(time.Millisecond), r.P50, r.P99)
+}
+
+// Serve builds one database and hammers it with cfg.Clients concurrent
+// goroutines, each issuing its share of a pre-generated retrieve/update
+// mix. Retrieves run under the database's shared latch, updates under
+// the exclusive latch, so cache I-lock invalidation stays correct while
+// readers proceed in parallel (see DESIGN.md §Concurrency). The first
+// error cancels every client.
+func Serve(cfg ServeConfig) (*ServeResult, error) {
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.OpsPerClient < 1 {
+		cfg.OpsPerClient = 50
+	}
+	if cfg.NumTop < 1 {
+		cfg.NumTop = 1
+	}
+	dbCfg := cfg.DB.WithDefaults()
+	switch cfg.Strategy {
+	case strategy.DFSCACHE, strategy.SMART, strategy.DFSCACHEINSIDE:
+		if dbCfg.CacheUnits == 0 {
+			dbCfg.CacheUnits = workload.DefaultCacheUnits
+		}
+		dbCfg.Clustered = false
+	case strategy.DFSCLUST:
+		dbCfg.Clustered = true
+		dbCfg.CacheUnits = 0
+	default:
+		dbCfg.Clustered = false
+		dbCfg.CacheUnits = 0
+	}
+	db, err := workload.Build(dbCfg)
+	if err != nil {
+		return nil, err
+	}
+	st, err := strategy.New(cfg.Strategy, db)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sequence generation uses the DB's single-threaded rng; produce the
+	// whole mix up front and split it into per-client chunks.
+	ops := db.GenSequence(cfg.Clients*cfg.OpsPerClient, cfg.PrUpdate, cfg.NumTop)
+	chunks := make([][]workload.Op, cfg.Clients)
+	for i, op := range ops {
+		c := i % cfg.Clients
+		chunks[c] = append(chunks[c], op)
+	}
+	if err := db.ResetCold(); err != nil {
+		return nil, err
+	}
+	db.Disk.SetLatency(cfg.DiskLatency)
+
+	var (
+		wg        sync.WaitGroup
+		stop      atomic.Bool
+		errOnce   sync.Once
+		firstErr  error
+		retrieves atomic.Int64
+		updates   atomic.Int64
+		latencies = make([][]time.Duration, cfg.Clients)
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, len(chunks[c]))
+			defer func() { latencies[c] = lats }()
+			for _, op := range chunks[c] {
+				if stop.Load() {
+					return
+				}
+				opStart := time.Now()
+				switch op.Kind {
+				case workload.OpRetrieve:
+					db.Latch.RLock()
+					_, err := st.Retrieve(db, strategy.Query{Lo: op.Lo, Hi: op.Hi, AttrIdx: op.AttrIdx})
+					db.Latch.RUnlock()
+					if err != nil {
+						fail(fmt.Errorf("serve: client %d retrieve [%d,%d]: %w", c, op.Lo, op.Hi, err))
+						return
+					}
+					retrieves.Add(1)
+				case workload.OpUpdate:
+					db.Latch.Lock()
+					err := st.Update(db, op)
+					db.Latch.Unlock()
+					if err != nil {
+						fail(fmt.Errorf("serve: client %d update: %w", c, err))
+						return
+					}
+					updates.Add(1)
+				}
+				lats = append(lats, time.Since(opStart))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	res := &ServeResult{
+		Clients:   cfg.Clients,
+		Shards:    db.Pool.NumShards(),
+		Retrieves: int(retrieves.Load()),
+		Updates:   int(updates.Load()),
+		Elapsed:   elapsed,
+		P50:       pct(0.50),
+		P90:       pct(0.90),
+		P99:       pct(0.99),
+		Max:       pct(1.0),
+		TotalIO:   db.Disk.Stats().Total(),
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.Retrieves+res.Updates) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// ThroughputBench is the result of a throughput sweep: for each client
+// count, a lock-striped run and a single-shard (global-mutex-equivalent)
+// baseline run of the identical workload.
+type ThroughputBench struct {
+	Config   string             `json:"config"`
+	Strategy string             `json:"strategy"`
+	Sharded  []*ServeResult     `json:"sharded"`
+	Baseline []*ServeResult     `json:"baseline_1shard"`
+	Speedup  map[string]float64 `json:"speedup_vs_baseline"`
+}
+
+// RunThroughput sweeps clientCounts with the given base configuration,
+// running each point once with shards lock stripes and once with the
+// single-shard baseline, and reports QPS speedups.
+func RunThroughput(base ServeConfig, shards int, clientCounts []int) (*ThroughputBench, error) {
+	if shards < 2 {
+		shards = 8
+	}
+	if base.DiskLatency == 0 {
+		// Default device model: 100µs per page transfer, roughly a fast
+		// NVMe random read. Throughput then measures how much of that
+		// wait the pool stripes let concurrent clients overlap.
+		base.DiskLatency = 100 * time.Microsecond
+	}
+	bench := &ThroughputBench{
+		Config:   base.DB.WithDefaults().String(),
+		Strategy: base.Strategy.String(),
+		Speedup:  make(map[string]float64),
+	}
+	for _, k := range clientCounts {
+		cfg := base
+		cfg.Clients = k
+		cfg.DB.PoolShards = shards
+		sharded, err := Serve(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: throughput K=%d sharded: %w", k, err)
+		}
+		cfg.DB.PoolShards = 1
+		baseline, err := Serve(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: throughput K=%d baseline: %w", k, err)
+		}
+		bench.Sharded = append(bench.Sharded, sharded)
+		bench.Baseline = append(bench.Baseline, baseline)
+		if baseline.QPS > 0 {
+			bench.Speedup[fmt.Sprintf("K=%d", k)] = sharded.QPS / baseline.QPS
+		}
+	}
+	return bench, nil
+}
+
+// WriteJSON writes the bench as indented JSON.
+func (b *ThroughputBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

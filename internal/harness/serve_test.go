@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"corep/internal/strategy"
+	"corep/internal/workload"
+)
+
+func TestServeSmoke(t *testing.T) {
+	res, err := Serve(ServeConfig{
+		DB:           workload.Config{NumParents: 300, Seed: 3, ProbeBatch: true, PoolShards: 4},
+		Strategy:     strategy.DFS,
+		Clients:      4,
+		OpsPerClient: 6,
+		PrUpdate:     0.2,
+		NumTop:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retrieves != 4*6 {
+		t.Fatalf("retrieves = %d, want %d", res.Retrieves, 4*6)
+	}
+	if res.Updates == 0 {
+		t.Fatal("no updates ran despite PrUpdate=0.2")
+	}
+	if res.QPS <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.Shards != 4 {
+		t.Fatalf("shards = %d", res.Shards)
+	}
+	if res.P50 > res.P99 || res.P99 > res.Max {
+		t.Fatalf("percentiles not ordered: p50=%s p99=%s max=%s", res.P50, res.P99, res.Max)
+	}
+}
+
+func TestServeSingleClientMatchesSequentialIO(t *testing.T) {
+	// One client under the latch must cost exactly the same simulated I/O
+	// as the single-threaded harness run of the same sequence.
+	cfg := workload.Config{NumParents: 300, Seed: 7}
+	m, err := Run(RunConfig{DB: cfg, Strategy: strategy.DFS, NumRetrieves: 10, NumTop: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Serve(ServeConfig{DB: cfg, Strategy: strategy.DFS, Clients: 1, OpsPerClient: 10, NumTop: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(m.AvgIO*10 + 0.5)
+	if res.TotalIO != want {
+		t.Fatalf("serve I/O = %d, sequential harness = %d", res.TotalIO, want)
+	}
+}
+
+func TestRunThroughputSweep(t *testing.T) {
+	base := ServeConfig{
+		DB:           workload.Config{NumParents: 300, Seed: 1, ProbeBatch: true},
+		Strategy:     strategy.DFS,
+		OpsPerClient: 4,
+		NumTop:       3,
+		DiskLatency:  time.Microsecond,
+	}
+	bench, err := RunThroughput(base, 4, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Sharded) != 2 || len(bench.Baseline) != 2 {
+		t.Fatalf("sweep sizes: %d sharded, %d baseline", len(bench.Sharded), len(bench.Baseline))
+	}
+	if bench.Sharded[0].Shards != 4 || bench.Baseline[0].Shards != 1 {
+		t.Fatalf("shard counts: %d vs %d", bench.Sharded[0].Shards, bench.Baseline[0].Shards)
+	}
+	if len(bench.Speedup) != 2 {
+		t.Fatalf("speedups = %v", bench.Speedup)
+	}
+	// Identical workload either side: the simulated I/O must agree.
+	for i := range bench.Sharded {
+		if bench.Sharded[i].TotalIO == 0 || bench.Baseline[i].TotalIO == 0 {
+			t.Fatalf("no I/O measured at K=%d", bench.Sharded[i].Clients)
+		}
+	}
+}
+
+// TestServeRaceStress is the -race proof for the concurrent serving
+// path: readers retrieve through the cache-backed strategy (inserting
+// units on miss) while updaters invalidate cached units through the
+// I-lock protocol, all under the database latch. Afterwards the cache's
+// unit↔I-lock cross-references must still be consistent.
+func TestServeRaceStress(t *testing.T) {
+	cfg := workload.Config{
+		NumParents: 300,
+		Seed:       11,
+		CacheUnits: workload.DefaultCacheUnits,
+		PoolShards: 8,
+		ProbeBatch: true,
+	}
+	db, err := workload.Build(cfg.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := strategy.New(strategy.DFSCACHE, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 6
+	ops := db.GenSequence(clients*8, 0.4, 6)
+	chunks := make([][]workload.Op, clients)
+	for i, op := range ops {
+		chunks[i%clients] = append(chunks[i%clients], op)
+	}
+	if err := db.ResetCold(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, op := range chunks[c] {
+				switch op.Kind {
+				case workload.OpRetrieve:
+					db.Latch.RLock()
+					_, err := st.Retrieve(db, strategy.Query{Lo: op.Lo, Hi: op.Hi, AttrIdx: op.AttrIdx})
+					db.Latch.RUnlock()
+					if err != nil {
+						errc <- err
+						return
+					}
+				case workload.OpUpdate:
+					db.Latch.Lock()
+					err := st.Update(db, op)
+					db.Latch.Unlock()
+					if err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Cache.CheckInvariants(); err != nil {
+		t.Fatalf("cache inconsistent after concurrent serving: %v", err)
+	}
+	if db.Cache.Stats().Inserts == 0 {
+		t.Fatal("stress never exercised the cache")
+	}
+	if db.Pool.PinnedCount() != 0 {
+		t.Fatalf("pins leaked: %d", db.Pool.PinnedCount())
+	}
+}
+
+// TestProbeBatchNeverCostsMore asserts the acceptance bound for the
+// batched probe path over the (strategy, use factor, NumTop) cells of
+// the Figure 3–7 families. The figure experiments themselves run with
+// ProbeBatch=false, so their I/O is bit-identical to the seed by
+// construction; this test additionally checks the opt-in batched mode:
+// per-query simulated I/O must be unchanged or improved in every cell,
+// up to reordering noise (sorting probes perturbs the LRU eviction
+// sequence, which can shift a warm-pool cell by a page or two in either
+// direction — the clustered build is itself nondeterministic at that
+// magnitude), and must improve substantially where batching matters
+// (depth-first probing at high NumTop).
+func TestProbeBatchNeverCostsMore(t *testing.T) {
+	kinds := []strategy.Kind{strategy.DFS, strategy.BFS, strategy.DFSCACHE, strategy.DFSCLUST, strategy.SMART}
+	for _, np := range []int{300, 2000} {
+		for _, sf := range []int{1, 5} {
+			for _, numTop := range []int{1, 20, 150, 1000} {
+				if numTop > np {
+					continue
+				}
+				for _, k := range kinds {
+					cfg := RunConfig{
+						DB:           workload.Config{NumParents: np, UseFactor: sf, Seed: 2},
+						Strategy:     k,
+						NumRetrieves: 6,
+						NumTop:       numTop,
+					}
+					paper, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("%v np=%d sf=%d nt=%d (paper): %v", k, np, sf, numTop, err)
+					}
+					cfg.DB.ProbeBatch = true
+					batched, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("%v np=%d sf=%d nt=%d (batched): %v", k, np, sf, numTop, err)
+					}
+					if batched.AvgIO > paper.AvgIO*1.01+1.0 {
+						t.Errorf("%v np=%d sf=%d nt=%d: batched %.2f > paper %.2f I/O per query",
+							k, np, sf, numTop, batched.AvgIO, paper.AvgIO)
+					}
+				}
+			}
+		}
+	}
+
+	// Where batching is the point — depth-first probing of many children
+	// through a pool-sized working set — it must win big, not just tie.
+	cfg := RunConfig{
+		DB:           workload.Config{NumParents: 2000, UseFactor: 1, Seed: 2},
+		Strategy:     strategy.DFS,
+		NumRetrieves: 6,
+		NumTop:       1000,
+	}
+	paper, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DB.ProbeBatch = true
+	batched, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.AvgIO > paper.AvgIO/2 {
+		t.Errorf("DFS nt=1000: batched %.2f vs paper %.2f — expected at least 2x I/O reduction",
+			batched.AvgIO, paper.AvgIO)
+	}
+}

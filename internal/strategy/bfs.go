@@ -137,22 +137,48 @@ func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Tem
 
 	if probeCost <= mergeCost {
 		// Iterative substitution: "subobjects are fetched exactly as in
-		// DFS" — per-key probes driven by the temp.
+		// DFS" — probes driven by the temp.
 		probeSp := db.Obs.Start("strategy.bfs/probe")
 		probeSp.SetAttr("values", int64(n))
 		defer probeSp.End()
-		return tmp.Scan(func(key int64) (bool, error) {
-			rec, err := rel.Tree.Get(key)
-			if err != nil {
-				return false, err
-			}
-			v, err := tuple.DecodeField(db.ChildSchema, rec, attrIdx)
-			if err != nil {
-				return false, err
-			}
-			res.Values = append(res.Values, v.Int)
+		if !db.Cfg.ProbeBatch {
+			return tmp.Scan(func(key int64) (bool, error) {
+				rec, err := rel.Tree.Get(key)
+				if err != nil {
+					return false, err
+				}
+				v, err := tuple.DecodeField(db.ChildSchema, rec, attrIdx)
+				if err != nil {
+					return false, err
+				}
+				res.Values = append(res.Values, v.Int)
+				return true, nil
+			})
+		}
+		// Batched: collect the temp's keys, probe them page-ordered, and
+		// emit values in the temp's original order.
+		keys := make([]int64, 0, n)
+		err := tmp.Scan(func(key int64) (bool, error) {
+			keys = append(keys, key)
 			return true, nil
 		})
+		if err != nil {
+			return err
+		}
+		vals := make([]int64, len(keys))
+		err = rel.Tree.GetBatch(keys, func(i int, payload []byte) error {
+			v, err := tuple.DecodeField(db.ChildSchema, payload, attrIdx)
+			if err != nil {
+				return err
+			}
+			vals[i] = v.Int
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		res.Values = append(res.Values, vals...)
+		return nil
 	}
 
 	// Competitive BFS: sort the temp (already sorted and deduplicated

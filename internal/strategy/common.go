@@ -3,6 +3,7 @@ package strategy
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"corep/internal/btree"
 	"corep/internal/object"
@@ -56,6 +57,111 @@ func fetchChildAttr(db *workload.DB, oid object.OID, attrIdx int) (int64, error)
 		return 0, err
 	}
 	return v.Int, nil
+}
+
+// fetchChildAttrs probes the child relations for every OID of oids and
+// stores the projected attribute at the matching index of out
+// (len(out) == len(oids)). Probes are grouped per child relation and
+// issued through the B-tree's page-ordered GetBatch, so a random probe
+// set becomes one sorted sweep per relation while the output order stays
+// exactly that of a per-OID fetchChildAttr loop. Config.ProbeBatch=false
+// falls back to that loop, reproducing the paper's one-probe-at-a-time
+// INGRES behaviour.
+func fetchChildAttrs(db *workload.DB, oids []object.OID, attrIdx int, out []int64) error {
+	if !db.Cfg.ProbeBatch {
+		for i, oid := range oids {
+			v, err := fetchChildAttr(db, oid, attrIdx)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return nil
+	}
+	// Group probe indices per child relation; relations are visited in
+	// id order so the I/O pattern is deterministic.
+	byRel := make(map[uint16][]int)
+	for i, oid := range oids {
+		byRel[oid.Rel()] = append(byRel[oid.Rel()], i)
+	}
+	relIDs := make([]int, 0, len(byRel))
+	for id := range byRel {
+		relIDs = append(relIDs, int(id))
+	}
+	sort.Ints(relIDs)
+	for _, rid := range relIDs {
+		rel, err := db.ChildByRelID(uint16(rid))
+		if err != nil {
+			return err
+		}
+		idxs := byRel[uint16(rid)]
+		keys := make([]int64, len(idxs))
+		for j, i := range idxs {
+			keys[j] = oids[i].Key()
+		}
+		err = rel.Tree.GetBatch(keys, func(j int, payload []byte) error {
+			v, err := tuple.DecodeField(db.ChildSchema, payload, attrIdx)
+			if err != nil {
+				return err
+			}
+			out[idxs[j]] = v.Int
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("strategy: batch probe of %s: %w", rel.Name, err)
+		}
+	}
+	return nil
+}
+
+// fetchChildRecs fetches the full child records of oids into out
+// (len(out) == len(oids), record copies at their original positions).
+// Like fetchChildAttrs it groups probes per relation and issues them
+// page-ordered, unless Config.ProbeBatch=false asks for one Get per OID.
+// DFSCACHE materializes units through it.
+func fetchChildRecs(db *workload.DB, oids []object.OID, out [][]byte) error {
+	if !db.Cfg.ProbeBatch {
+		for i, oid := range oids {
+			rel, err := db.ChildByRelID(oid.Rel())
+			if err != nil {
+				return err
+			}
+			rec, err := rel.Tree.Get(oid.Key())
+			if err != nil {
+				return fmt.Errorf("strategy: subobject %v: %w", oid, err)
+			}
+			out[i] = rec
+		}
+		return nil
+	}
+	byRel := make(map[uint16][]int)
+	for i, oid := range oids {
+		byRel[oid.Rel()] = append(byRel[oid.Rel()], i)
+	}
+	relIDs := make([]int, 0, len(byRel))
+	for id := range byRel {
+		relIDs = append(relIDs, int(id))
+	}
+	sort.Ints(relIDs)
+	for _, rid := range relIDs {
+		rel, err := db.ChildByRelID(uint16(rid))
+		if err != nil {
+			return err
+		}
+		idxs := byRel[uint16(rid)]
+		keys := make([]int64, len(idxs))
+		for j, i := range idxs {
+			keys[j] = oids[i].Key()
+		}
+		err = rel.Tree.GetBatch(keys, func(j int, payload []byte) error {
+			out[idxs[j]] = append([]byte(nil), payload...)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("strategy: batch fetch of %s: %w", rel.Name, err)
+		}
+	}
+	return nil
 }
 
 // ioSpan measures the disk I/O of a code span.

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"corep/internal/object"
 	"corep/internal/workload"
 )
 
@@ -26,13 +27,16 @@ func (dfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
 
 	child := beginIO(db)
 	probeSp := db.Obs.Start("strategy.dfs/probe")
+	// Flatten the qualifying parents' child OIDs and probe them in one
+	// page-ordered batch; the output order is the per-OID loop's.
+	var oids []object.OID
 	for _, p := range parents {
-		for _, oid := range p.unit {
-			v, err := fetchChildAttr(db, oid, q.AttrIdx)
-			if err != nil {
-				return nil, err
-			}
-			res.Values = append(res.Values, v)
+		oids = append(oids, p.unit...)
+	}
+	if len(oids) > 0 {
+		res.Values = make([]int64, len(oids))
+		if err := fetchChildAttrs(db, oids, q.AttrIdx, res.Values); err != nil {
+			return nil, err
 		}
 	}
 	probeSp.SetAttr("values", int64(len(res.Values)))

@@ -68,19 +68,12 @@ func (c dfscache) Retrieve(db *workload.DB, q Query) (*Result, error) {
 			}
 			continue
 		}
-		// Materialize the unit, answer from it, and cache it.
+		// Materialize the unit with one page-ordered batch, answer from
+		// it, and cache it.
 		materialized++
-		recs := make([][]byte, 0, len(unit))
-		for _, oid := range unit {
-			rel, err := db.ChildByRelID(oid.Rel())
-			if err != nil {
-				return nil, err
-			}
-			rec, err := rel.Tree.Get(oid.Key())
-			if err != nil {
-				return nil, err
-			}
-			recs = append(recs, rec)
+		recs := make([][]byte, len(unit))
+		if err := fetchChildRecs(db, unit, recs); err != nil {
+			return nil, err
 		}
 		value = encodeUnitValue(recs)
 		if err := projectUnitValue(db, value, q.AttrIdx, &res.Values); err != nil {

@@ -9,7 +9,11 @@
 // parents; updates modify a fixed number of ChildRel tuples in place.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"corep/internal/buffer"
+)
 
 // Defaults from §4 of the paper.
 const (
@@ -34,6 +38,17 @@ type Config struct {
 	ChildBytes  int // target encoded width of a ChildRel tuple
 	PoolPages   int // buffer pool size in pages
 	PoolPolicy  int // buffer replacement policy (buffer.LRU/Clock/Random)
+	// PoolShards is the buffer pool's lock-stripe count. The default (1)
+	// reproduces the paper's single-client eviction behaviour exactly;
+	// concurrent serving (harness.Serve) raises it.
+	PoolShards int
+
+	// ProbeBatch turns on page-ordered batching of child-OID probes.
+	// Off (the default), strategies probe one OID at a time in arrival
+	// order exactly as the paper's INGRES testbed did, preserving every
+	// figure's I/O counts; the concurrent serving path turns it on to
+	// trade fidelity for fewer page fetches.
+	ProbeBatch bool
 
 	Clustered    bool // also build ClusterRel + its ISAM OID index
 	CacheUnits   int  // SizeCache; 0 disables the cache
@@ -70,6 +85,9 @@ func (c Config) WithDefaults() Config {
 	if c.PoolPages == 0 {
 		c.PoolPages = DefaultPoolPages
 	}
+	if c.PoolShards == 0 {
+		c.PoolShards = 1
+	}
 	if c.CacheBuckets == 0 {
 		c.CacheBuckets = 256
 	}
@@ -97,6 +115,12 @@ func (c Config) Validate() error {
 	}
 	if c.SizeUnit*8+120 > c.ParentBytes*4 {
 		return fmt.Errorf("workload: SizeUnit %d too large for ParentBytes %d", c.SizeUnit, c.ParentBytes)
+	}
+	if !buffer.Policy(c.PoolPolicy).Valid() {
+		return fmt.Errorf("workload: unknown PoolPolicy %d", c.PoolPolicy)
+	}
+	if c.PoolShards < 0 {
+		return fmt.Errorf("workload: negative PoolShards %d", c.PoolShards)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"corep/internal/buffer"
 	"corep/internal/cache"
@@ -62,6 +63,11 @@ type DB struct {
 	// operators running over this database. Zero value = disabled;
 	// installed by AttachObs.
 	Obs obs.Ctx
+
+	// Latch is the database-level read/write latch for concurrent serving
+	// (harness.Serve): retrieves hold it shared, updates exclusive. The
+	// single-client harness never takes it. See DESIGN.md §Concurrency.
+	Latch sync.RWMutex
 
 	childByRelID map[uint16]*catalog.Relation
 	childCount   map[uint16]int
@@ -138,7 +144,10 @@ func newSkeleton(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	d := disk.NewSim()
-	pool := buffer.NewWithPolicy(d, cfg.PoolPages, buffer.Policy(cfg.PoolPolicy))
+	pool, err := buffer.NewSharded(d, cfg.PoolPages, buffer.Policy(cfg.PoolPolicy), cfg.PoolShards)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
 	db := &DB{
 		Cfg:          cfg,
 		Disk:         d,
