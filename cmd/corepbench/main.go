@@ -54,6 +54,10 @@ func run() int {
 		throughputOut = flag.String("throughput-out", "BENCH_throughput.json", "where -throughput writes its JSON result")
 		clients       = flag.String("clients", "1,2,4,8", "client counts for -throughput, comma-separated")
 		shards        = flag.Int("shards", 8, "buffer-pool lock stripes for -throughput's sharded runs")
+
+		latency     = flag.Duration("latency", 0, "simulated per-page device latency for experiment runs (e.g. 200us)")
+		prefetch    = flag.Bool("prefetch", false, "run the prefetch latency×depth sweep and exit (nonzero exit on any read-count or row regression)")
+		prefetchOut = flag.String("prefetch-out", "BENCH_prefetch.json", "where -prefetch writes its JSON result")
 	)
 	flag.Parse()
 
@@ -126,6 +130,49 @@ func run() int {
 		return 0
 	}
 
+	if *prefetch {
+		lats, depths := harness.DefaultPrefetchSweep()
+		fmt.Printf("running prefetch sweep (latencies=%v, depths=%v, seed=%d)...\n", lats, depths, *seed)
+		bench, err := harness.RunPrefetchSweep(lats, depths, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefetch: %v\n", err)
+			return 1
+		}
+		bad := false
+		for _, c := range bench.Cells {
+			fmt.Printf("  lat=%-6s depth=%-3d sync=%-10s pref=%-10s speedup=%.2fx reads %d→%d rows_match=%v\n",
+				c.Latency, c.Depth, c.SyncElapsed.Round(time.Millisecond), c.PrefElapsed.Round(time.Millisecond),
+				c.Speedup, c.SyncReads, c.PrefReads, c.RowsMatch)
+			// Wall clock is noisy in CI; the hard gates are determinism and
+			// read counts, which prefetch must never regress.
+			if c.PrefReads > c.SyncReads {
+				fmt.Fprintf(os.Stderr, "prefetch: page reads regressed at lat=%s depth=%d (%d > %d)\n",
+					c.Latency, c.Depth, c.PrefReads, c.SyncReads)
+				bad = true
+			}
+			if !c.RowsMatch {
+				fmt.Fprintf(os.Stderr, "prefetch: result rows diverged at lat=%s depth=%d\n", c.Latency, c.Depth)
+				bad = true
+			}
+		}
+		fmt.Printf("  best speedup: %.2fx\n", bench.BestSpeedup)
+		f, err := os.Create(*prefetchOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefetch: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "prefetch: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *prefetchOut)
+		if bad {
+			return 1
+		}
+		return 0
+	}
+
 	if *throughput {
 		var counts []int
 		for _, s := range strings.Split(*clients, ",") {
@@ -146,6 +193,7 @@ func run() int {
 			OpsPerClient: 40,
 			PrUpdate:     0.05,
 			NumTop:       8,
+			DiskLatency:  *latency,
 		}
 		fmt.Printf("running throughput benchmark (clients=%v, shards=%d, seed=%d)...\n", counts, *shards, *seed)
 		bench, err := harness.RunThroughput(base, *shards, counts)
@@ -186,6 +234,7 @@ func run() int {
 	}
 	sc.Seed = *seed
 	sc.Parallel = *parallel
+	sc.DeviceLatency = *latency
 	sc.Obs.Sink = sink
 
 	var runs []harness.Experiment

@@ -40,6 +40,7 @@ func main() {
 		trace   = flag.Bool("trace", false, "stream per-span JSON lines to stderr")
 		metrics = flag.Bool("metrics", false, "aggregate metrics (report with \\metrics)")
 		profile = flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof on exit")
+		latency = flag.Duration("latency", 0, "simulated per-page device latency (e.g. 200us)")
 	)
 	flag.Parse()
 
@@ -79,6 +80,9 @@ func main() {
 	}
 	if *metrics {
 		db.EnableMetrics()
+	}
+	if *latency > 0 {
+		db.SetDeviceLatency(*latency)
 	}
 	fmt.Println("corep query shell — the paper's example database is loaded.")
 	fmt.Println("relations: person(OID,name,age), cyclist(OID,name), group(key,name,members)")

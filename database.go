@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"corep/internal/buffer"
 	"corep/internal/cache"
@@ -499,9 +500,31 @@ func (d *Database) Stats() IOStats {
 	return IOStats{Reads: s.Reads, Writes: s.Writes}
 }
 
+// SetDeviceLatency sets the simulated per-page device latency (no-op on
+// backends without latency simulation).
+func (d *Database) SetDeviceLatency(l time.Duration) {
+	if s, ok := d.dsk.(interface{ SetLatency(time.Duration) }); ok {
+		s.SetLatency(l)
+	}
+}
+
+// EnablePrefetch attaches an asynchronous prefetcher (window depth; 0
+// means buffer.DefaultPrefetchDepth) so batch fetches and range scans
+// overlap upcoming page reads with query work. It returns the closer
+// that stops the prefetch workers; call it when done with the database.
+func (d *Database) EnablePrefetch(depth int) func() {
+	pf := buffer.NewPrefetcher(d.pool, depth, 0)
+	d.pool.SetPrefetcher(pf)
+	return func() {
+		d.pool.SetPrefetcher(nil)
+		pf.Close()
+	}
+}
+
 // ResetCold flushes and empties the buffer pool and zeroes the I/O
 // counters.
 func (d *Database) ResetCold() error {
+	d.pool.Prefetcher().Drain()
 	if err := d.pool.FlushAll(); err != nil {
 		return err
 	}

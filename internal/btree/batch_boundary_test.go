@@ -1,0 +1,84 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"corep/internal/buffer"
+	"corep/internal/disk"
+)
+
+// buildBatchTree builds a deterministic multi-leaf tree over its own
+// simulated disk and returns both, with I/O stats zeroed.
+func buildBatchTree(t *testing.T, poolSize int) (*Tree, *disk.Sim) {
+	t.Helper()
+	d := disk.NewSim()
+	pool := buffer.New(d, poolSize)
+	tr, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 500; k++ {
+		if err := tr.Insert(k, payload(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.ResetStats()
+	return tr, d
+}
+
+// TestGetBatchBoundary pins GetBatch's fallback threshold: one key below
+// buffer.BatchSortMin a batch must cost exactly what the equivalent Get
+// loop costs (same pool state, same access order); at the threshold the
+// page-ordered path takes over and may only cost less.
+func TestGetBatchBoundary(t *testing.T) {
+	if buffer.BatchSortMin != 16 {
+		t.Fatalf("BatchSortMin = %d; the strategies' probe-batch cost model was tuned at 16 — retune before changing it",
+			buffer.BatchSortMin)
+	}
+	const poolSize = 8 // smaller than the leaf count, so order matters
+	rng := rand.New(rand.NewSource(7))
+
+	for _, n := range []int{buffer.BatchSortMin - 1, buffer.BatchSortMin} {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = rng.Int63n(500)
+		}
+
+		loopTree, loopDisk := buildBatchTree(t, poolSize)
+		var loopGot [][]byte
+		for _, k := range keys {
+			p, err := loopTree.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loopGot = append(loopGot, append([]byte(nil), p...))
+		}
+		loopReads := loopDisk.Stats().Reads
+
+		batchTree, batchDisk := buildBatchTree(t, poolSize)
+		batchGot := make([][]byte, n)
+		if err := batchTree.GetBatch(keys, func(i int, p []byte) error {
+			batchGot[i] = append([]byte(nil), p...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		batchReads := batchDisk.Stats().Reads
+
+		for i := range keys {
+			if !bytes.Equal(batchGot[i], loopGot[i]) {
+				t.Fatalf("n=%d: key %d payload mismatch", n, keys[i])
+			}
+		}
+		if n < buffer.BatchSortMin {
+			if batchReads != loopReads {
+				t.Fatalf("n=%d (below threshold): batch reads %d != loop reads %d — fallback must be bit-identical",
+					n, batchReads, loopReads)
+			}
+		} else if batchReads > loopReads {
+			t.Fatalf("n=%d (at threshold): batch reads %d > loop reads %d", n, batchReads, loopReads)
+		}
+	}
+}

@@ -135,6 +135,10 @@ type Pool struct {
 
 	obsMu sync.Mutex
 	obs   obs.Ctx
+
+	// pref is the attached asynchronous prefetcher, nil when prefetch is
+	// disabled (the default — the paper's synchronous access pattern).
+	pref atomic.Pointer[Prefetcher]
 }
 
 // New creates a single-shard LRU pool of capacity pages over dm.
@@ -238,6 +242,15 @@ func (p *Pool) Obs() obs.Ctx {
 	return p.obs
 }
 
+// SetPrefetcher attaches (or, with nil, detaches) the asynchronous
+// prefetcher scans consult. The caller owns the prefetcher's lifecycle:
+// detach it here before Close so new scans stop seeing it.
+func (p *Pool) SetPrefetcher(pf *Prefetcher) { p.pref.Store(pf) }
+
+// Prefetcher returns the attached prefetcher, or nil when prefetch is
+// off. Scans treat the nil result (and nil Chains) as inert.
+func (p *Pool) Prefetcher() *Prefetcher { return p.pref.Load() }
+
 // Resident returns the number of frames currently holding a page — the
 // buffer-pool residency gauge.
 func (p *Pool) Resident() int {
@@ -316,7 +329,10 @@ func (p *Pool) PinScan(id disk.PageID) ([]byte, error) {
 // buffer while the page is pinned. The buffers are read-only for fn;
 // every pin is released before GetBatch returns. Sorting converts a
 // random probe set into one sequential sweep — the page-ordered access
-// pattern behind Database.FetchBatch.
+// pattern behind Database.FetchBatch. Unlike btree.GetBatch it has no
+// BatchSortMin fallback: page ids are already the unit of I/O here, so
+// sorting even a tiny batch only dedups repeated ids and cannot read
+// more pages than the equivalent Pin loop.
 func (p *Pool) GetBatch(ids []disk.PageID, fn func(i int, buf []byte) error) error {
 	order := make([]int, len(ids))
 	for i := range order {
@@ -328,12 +344,29 @@ func (p *Pool) GetBatch(ids []disk.PageID, fn func(i int, buf []byte) error) err
 		}
 		return order[a] < order[b]
 	})
+	// The sorted distinct ids are exactly the sweep's page plan — hand it
+	// to the prefetcher (when attached) so upcoming pages stage while the
+	// current one is consumed.
+	var ch *Chain
+	if pf := p.Prefetcher(); pf != nil {
+		plan := make([]disk.PageID, 0, len(order))
+		for _, o := range order {
+			if id := ids[o]; len(plan) == 0 || id != plan[len(plan)-1] {
+				plan = append(plan, id)
+			}
+		}
+		if len(plan) > 1 {
+			ch = pf.Start(plan)
+			defer ch.Finish()
+		}
+	}
 	for i := 0; i < len(order); {
 		id := ids[order[i]]
 		buf, err := p.PinScan(id)
 		if err != nil {
 			return err
 		}
+		ch.Consumed(id)
 		for ; i < len(order) && ids[order[i]] == id; i++ {
 			if err := fn(order[i], buf); err != nil {
 				p.Unpin(id, false)

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"corep/internal/buffer"
 	"corep/internal/obs"
@@ -18,6 +19,10 @@ type Scale struct {
 	NumParents   int
 	MaxRetrieves int
 	Seed         int64
+
+	// DeviceLatency is forwarded to every measured run (corepbench
+	// -latency); 0 keeps the paper's latency-free simulation.
+	DeviceLatency time.Duration
 
 	// Parallel bounds the worker goroutines used for grid batches
 	// (corepbench -parallel); 0 means GOMAXPROCS.
@@ -95,12 +100,13 @@ func (sc Scale) run(db workload.Config, kind strategy.Kind, numTop int, pr float
 	db.NumParents = sc.NumParents
 	db.Seed = sc.Seed
 	return Run(RunConfig{
-		DB:           db,
-		Strategy:     kind,
-		NumRetrieves: sc.retrieves(numTop),
-		PrUpdate:     pr,
-		NumTop:       numTop,
-		Obs:          sc.Obs,
+		DB:            db,
+		Strategy:      kind,
+		NumRetrieves:  sc.retrieves(numTop),
+		PrUpdate:      pr,
+		NumTop:        numTop,
+		DeviceLatency: sc.DeviceLatency,
+		Obs:           sc.Obs,
 	})
 }
 

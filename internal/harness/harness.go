@@ -11,6 +11,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"corep/internal/buffer"
 	"corep/internal/cache"
@@ -34,6 +35,10 @@ type RunConfig struct {
 	// NumTop, or NumTops for a mixed sequence (SMART's scenario).
 	NumTop  int
 	NumTops []int
+
+	// DeviceLatency is the simulated per-page device latency applied
+	// after the build (0: latency-free, the paper's pure-I/O-count mode).
+	DeviceLatency time.Duration
 
 	// Obs configures tracing/metrics for this run. Metric names get a
 	// per-cell "STRATEGY|SF=n|NT=n|" prefix so grid sweeps sharing one
@@ -65,6 +70,10 @@ type Measurement struct {
 	Buffer buffer.Stats
 
 	Cache cache.Stats // zero unless the strategy uses the cache
+
+	// Prefetch holds the prefetcher's counter deltas (zero when prefetch
+	// is disabled, the default).
+	Prefetch buffer.PrefetchStats
 }
 
 func (m Measurement) String() string {
@@ -111,6 +120,8 @@ func Run(rc RunConfig) (*Measurement, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer db.Close()
+	db.Disk.SetLatency(rc.DeviceLatency)
 	if rc.Obs.Enabled() {
 		ntLabel := fmt.Sprintf("%d", rc.NumTop)
 		if len(rc.NumTops) > 0 {
@@ -158,6 +169,7 @@ func Execute(db *workload.DB, st strategy.Strategy, ops []workload.Op) (*Measure
 	ob := db.Obs
 	startDisk := db.Disk.Stats()
 	startBuf := db.Pool.Stats()
+	startPref := db.Pool.Prefetcher().Stats()
 	var startCache cache.Stats
 	if db.Cache != nil {
 		startCache = db.Cache.Stats()
@@ -211,12 +223,16 @@ func Execute(db *workload.DB, st strategy.Strategy, ops []workload.Op) (*Measure
 	}
 	m.Disk = db.Disk.Stats().Sub(startDisk)
 	m.Buffer = db.Pool.Stats().Sub(startBuf)
+	m.Prefetch = db.Pool.Prefetcher().Stats().Sub(startPref)
 	if db.Cache != nil {
 		m.Cache = db.Cache.Stats().Sub(startCache)
 	}
 	if ob.Enabled() {
 		ob.AddCounters(m.Disk.Counters())
 		ob.AddCounters(m.Buffer.Counters())
+		if db.Pool.Prefetcher() != nil {
+			ob.AddCounters(m.Prefetch.Counters())
+		}
 		ob.Gauge("buffer.resident").Set(int64(db.Pool.Resident()))
 		if db.Cache != nil {
 			ob.AddCounters(m.Cache.Counters())

@@ -90,6 +90,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer db.Close()
 	st, err := strategy.New(cfg.Strategy, db)
 	if err != nil {
 		return nil, err

@@ -16,11 +16,14 @@ import (
 	"corep/internal/storage"
 )
 
-// File is a heap file: a forward-linked chain of TypeHeap pages.
+// File is a heap file: a forward-linked chain of TypeHeap pages. The
+// chain order is mirrored in pages so a full scan knows its page plan up
+// front (sequential readahead).
 type File struct {
 	pool  *buffer.Pool
 	first disk.PageID
 	last  disk.PageID
+	pages []disk.PageID
 	count int
 }
 
@@ -32,7 +35,7 @@ func Create(pool *buffer.Pool) (*File, error) {
 	}
 	storage.Page{Buf: buf}.Init(storage.TypeHeap)
 	pool.Unpin(id, true)
-	return &File{pool: pool, first: id, last: id}, nil
+	return &File{pool: pool, first: id, last: id, pages: []disk.PageID{id}}, nil
 }
 
 // Open re-attaches to an existing heap file rooted at first. The caller
@@ -50,6 +53,7 @@ func Open(pool *buffer.Pool, first disk.PageID) (*File, error) {
 		pg.LiveRecords(func(int, []byte) bool { f.count++; return true })
 		next := pg.Next()
 		pool.Unpin(id, false)
+		f.pages = append(f.pages, id)
 		f.last = id
 		id = next
 	}
@@ -100,6 +104,7 @@ func (f *File) Append(rec []byte) (storage.RID, error) {
 		return storage.RID{}, err
 	}
 	f.last = nid
+	f.pages = append(f.pages, nid)
 	f.count++
 	return storage.RID{Page: nid, Slot: uint16(slot)}, nil
 }
@@ -124,12 +129,20 @@ func (f *File) Get(rid storage.RID) ([]byte, error) {
 // Scan calls fn for every live record in chain order. fn's rec slice is
 // only valid during the call; return false to stop early.
 func (f *File) Scan(fn func(rid storage.RID, rec []byte) bool) error {
+	// The chain order is known up front: hand it to the prefetcher (when
+	// attached) so the next pages stage while this one is consumed.
+	var ch *buffer.Chain
+	if pf := f.pool.Prefetcher(); pf != nil && len(f.pages) > 1 {
+		ch = pf.Start(f.pages)
+		defer ch.Finish()
+	}
 	id := f.first
 	for id != disk.InvalidPageID {
 		buf, err := f.pool.Pin(id)
 		if err != nil {
 			return err
 		}
+		ch.Consumed(id)
 		pg := storage.Page{Buf: buf}
 		stop := false
 		pg.LiveRecords(func(slot int, rec []byte) bool {

@@ -253,6 +253,23 @@ func (x *Index) Probe(key int64) (storage.RID, error) {
 	return rid, nil
 }
 
+// ProbeBatch probes many keys, returning one RID per key in input
+// order. It is a plain Probe loop — the static index's top levels stay
+// buffered, so batching saves nothing on the index itself — but the RID
+// list it returns is what lets callers form a page-ordered plan over the
+// data pages (DFSCLUST's probe prefetch).
+func (x *Index) ProbeBatch(keys []int64) ([]storage.RID, error) {
+	rids := make([]storage.RID, len(keys))
+	for i, k := range keys {
+		rid, err := x.Probe(k)
+		if err != nil {
+			return nil, err
+		}
+		rids[i] = rid
+	}
+	return rids, nil
+}
+
 // lowerBound returns the first slot with key ≥ k.
 func lowerBound(pg storage.Page, k int64) int {
 	lo, hi := 0, pg.NumSlots()

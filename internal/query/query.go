@@ -46,7 +46,9 @@ func (s *SliceIter) Next() (int64, bool, error) {
 // Int64Temp is a temporary relation of int64 values backed by a heap
 // file — the paper's "temp" relation "whose single attribute is OID".
 type Int64Temp struct {
-	file *heap.File
+	file   *heap.File
+	max    int64
+	hasMax bool
 }
 
 // NewInt64Temp creates an empty temporary.
@@ -62,12 +64,22 @@ func NewInt64Temp(pool *buffer.Pool) (*Int64Temp, error) {
 func (t *Int64Temp) Append(v int64) error {
 	var rec [8]byte
 	binary.LittleEndian.PutUint64(rec[:], uint64(v))
-	_, err := t.file.Append(rec[:])
-	return err
+	if _, err := t.file.Append(rec[:]); err != nil {
+		return err
+	}
+	if !t.hasMax || v > t.max {
+		t.max, t.hasMax = v, true
+	}
+	return nil
 }
 
 // Count returns the number of stored values.
 func (t *Int64Temp) Count() int { return t.file.Count() }
+
+// Max returns the largest appended value (ok=false when empty). A merge
+// join driven by this temporary never walks the inner side past Max —
+// the bound its leaf readahead stops seeding at.
+func (t *Int64Temp) Max() (int64, bool) { return t.max, t.hasMax }
 
 // Scan calls fn for each value in insertion order.
 func (t *Int64Temp) Scan(fn func(v int64) (bool, error)) error {

@@ -196,6 +196,11 @@ func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Tem
 		return err
 	}
 	defer it.Close()
+	// The merge join's inner leaf walk never passes the outer's maximum:
+	// readahead (when a prefetcher is attached) stops seeding there.
+	if mx, ok := outerTemp.Max(); ok {
+		defer rel.Tree.AttachChainPrefetch(it, mx)()
+	}
 	return query.MergeJoin(db.Obs, outerTemp.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
 		v, err := tuple.DecodeField(db.ChildSchema, payload, attrIdx)
 		if err != nil {

@@ -3,7 +3,10 @@ package strategy
 import (
 	"fmt"
 
+	"corep/internal/buffer"
+	"corep/internal/disk"
 	"corep/internal/object"
+	"corep/internal/storage"
 	"corep/internal/tuple"
 	"corep/internal/workload"
 )
@@ -55,25 +58,68 @@ func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
 		curKey = int64(-1)
 	)
 	// resolve answers the current group, charging index/data fetches to
-	// ChildCost.
+	// ChildCost. With a prefetcher attached it resolves the group's
+	// non-local probes through the ISAM index first: the RIDs' data pages,
+	// deduplicated in first-occurrence order, become the prefetch plan, so
+	// upcoming fetches stage while the current ones are consumed.
 	resolve := func() error {
 		if !hasPar {
 			return nil
 		}
 		span := beginIO(db)
+		var (
+			ch   *buffer.Chain
+			rids map[object.OID]storage.RID
+		)
+		if pf := db.Pool.Prefetcher(); pf != nil {
+			var keys []int64
+			for _, oid := range unit {
+				if _, ok := local[oid]; !ok {
+					keys = append(keys, int64(oid))
+				}
+			}
+			if len(keys) > 1 {
+				rr, err := db.ClusterRel.Index.ProbeBatch(keys)
+				if err != nil {
+					return fmt.Errorf("strategy: clustered probe batch: %w", err)
+				}
+				rids = make(map[object.OID]storage.RID, len(keys))
+				seen := make(map[disk.PageID]bool, len(rr))
+				plan := make([]disk.PageID, 0, len(rr))
+				for i, rid := range rr {
+					rids[object.OID(keys[i])] = rid
+					if !seen[rid.Page] {
+						seen[rid.Page] = true
+						plan = append(plan, rid.Page)
+					}
+				}
+				if len(plan) > 1 {
+					psp := db.Obs.Start("prefetch.probeplan")
+					psp.SetAttr("pages", int64(len(plan)))
+					psp.End()
+					ch = pf.Start(plan)
+					defer ch.Finish()
+				}
+			}
+		}
 		for _, oid := range unit {
 			if v, ok := local[oid]; ok {
 				res.Values = append(res.Values, v)
 				continue
 			}
-			rid, err := db.ClusterRel.Index.Probe(int64(oid))
-			if err != nil {
-				return fmt.Errorf("strategy: clustered subobject %v: %w", oid, err)
+			rid, ok := rids[oid]
+			if !ok {
+				var err error
+				rid, err = db.ClusterRel.Index.Probe(int64(oid))
+				if err != nil {
+					return fmt.Errorf("strategy: clustered subobject %v: %w", oid, err)
+				}
 			}
 			_, payload, err := db.ClusterRel.Tree.GetAt(rid)
 			if err != nil {
 				return err
 			}
+			ch.Consumed(rid.Page)
 			av, err := tuple.DecodeField(db.ClusterSchema, payload, attrIdx)
 			if err != nil {
 				return err

@@ -87,6 +87,10 @@ func (s smart) Retrieve(db *workload.DB, q Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		finish := func() {}
+		if mx, ok := sorted.Max(); ok {
+			finish = rel.Tree.AttachChainPrefetch(it, mx)
+		}
 		err = query.MergeJoin(db.Obs, sorted.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
 			v, err := tuple.DecodeField(db.ChildSchema, payload, q.AttrIdx)
 			if err != nil {
@@ -95,6 +99,7 @@ func (s smart) Retrieve(db *workload.DB, q Query) (*Result, error) {
 			res.Values = append(res.Values, v.Int)
 			return true, nil
 		})
+		finish()
 		it.Close()
 		if err != nil {
 			return nil, err

@@ -50,6 +50,15 @@ type Config struct {
 	// trade fidelity for fewer page fetches.
 	ProbeBatch bool
 
+	// PrefetchEnabled turns on the asynchronous prefetcher: chain scans
+	// and page-ordered batch probes overlap upcoming page reads with
+	// query work. Off (the default), every access is synchronous exactly
+	// as the paper's testbed — all Figure 3–7 cells stay bit-identical.
+	PrefetchEnabled bool
+	// PrefetchDepth bounds the prefetch window (in-flight + staged
+	// pages). 0 with PrefetchEnabled means buffer.DefaultPrefetchDepth.
+	PrefetchDepth int
+
 	Clustered    bool // also build ClusterRel + its ISAM OID index
 	CacheUnits   int  // SizeCache; 0 disables the cache
 	CacheBuckets int  // hash buckets of the Cache relation
@@ -91,6 +100,9 @@ func (c Config) WithDefaults() Config {
 	if c.CacheBuckets == 0 {
 		c.CacheBuckets = 256
 	}
+	if c.PrefetchEnabled && c.PrefetchDepth == 0 {
+		c.PrefetchDepth = buffer.DefaultPrefetchDepth
+	}
 	if c.UpdateBatch == 0 {
 		c.UpdateBatch = DefaultUpdateBatch
 	}
@@ -121,6 +133,9 @@ func (c Config) Validate() error {
 	}
 	if c.PoolShards < 0 {
 		return fmt.Errorf("workload: negative PoolShards %d", c.PoolShards)
+	}
+	if c.PrefetchDepth < 0 {
+		return fmt.Errorf("workload: negative PrefetchDepth %d", c.PrefetchDepth)
 	}
 	return nil
 }

@@ -133,6 +133,7 @@ func Build(cfg Config) (*DB, error) {
 	if err := db.ResetCold(); err != nil {
 		return nil, err
 	}
+	db.attachPrefetcher()
 	return db, nil
 }
 
@@ -188,6 +189,9 @@ func newSkeleton(cfg Config) (*DB, error) {
 // ResetCold flushes and empties the buffer pool and zeroes the disk
 // counters: the next query starts from a cold, clean state.
 func (db *DB) ResetCold() error {
+	// Quiesce the prefetcher first: Invalidate refuses pinned pages, and
+	// staged prefetch pages hold pins. Nil-safe no-op when prefetch is off.
+	db.Pool.Prefetcher().Drain()
 	if err := db.Pool.FlushAll(); err != nil {
 		return err
 	}
@@ -196,6 +200,25 @@ func (db *DB) ResetCold() error {
 	}
 	db.Disk.ResetStats()
 	return nil
+}
+
+// attachPrefetcher starts the asynchronous prefetcher when the config
+// asks for it. Called after the build's ResetCold so load I/O is never
+// prefetched; idempotent per database.
+func (db *DB) attachPrefetcher() {
+	if !db.Cfg.PrefetchEnabled {
+		return
+	}
+	db.Pool.SetPrefetcher(buffer.NewPrefetcher(db.Pool, db.Cfg.PrefetchDepth, 0))
+}
+
+// Close releases background resources (the prefetcher's workers). Safe
+// to call twice and concurrently with running queries: in-flight scans
+// fall back to synchronous reads.
+func (db *DB) Close() {
+	pf := db.Pool.Prefetcher()
+	db.Pool.SetPrefetcher(nil)
+	pf.Close()
 }
 
 // ChildByRelID resolves a child relation from an OID's relation id.

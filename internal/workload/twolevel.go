@@ -178,6 +178,7 @@ func BuildTwoLevel(cfg TwoLevelConfig) (*TwoLevelDB, error) {
 	if err := db.ResetCold(); err != nil {
 		return nil, err
 	}
+	db.attachPrefetcher()
 	return t, nil
 }
 
