@@ -11,6 +11,7 @@
 //	corepbench -exp fig3 -metrics       # + per-cell I/O histograms, cache/buffer breakdowns
 //	corepbench -exp fig3 -trace         # + JSON-lines span stream on stderr
 //	corepbench -exp fig3 -profile out   # + out.cpu.pprof / out.heap.pprof
+//	corepbench -chaos -chaos-seeds 50   # differential chaos sweep, writes BENCH_chaos.json
 //
 // Paper scale uses the paper's environment (10,000 parents, sequences
 // of up to 1000 queries); quick scale shrinks both so the full suite
@@ -58,6 +59,10 @@ func run() int {
 		latency     = flag.Duration("latency", 0, "simulated per-page device latency for experiment runs (e.g. 200us)")
 		prefetch    = flag.Bool("prefetch", false, "run the prefetch latency×depth sweep and exit (nonzero exit on any read-count or row regression)")
 		prefetchOut = flag.String("prefetch-out", "BENCH_prefetch.json", "where -prefetch writes its JSON result")
+
+		chaos      = flag.Bool("chaos", false, "run the differential chaos-test sweep and exit (nonzero exit on any violation)")
+		chaosSeeds = flag.Int("chaos-seeds", 0, "fault schedules per strategy for -chaos (default 50)")
+		chaosOut   = flag.String("chaos-out", "BENCH_chaos.json", "where -chaos writes its JSON result")
 	)
 	flag.Parse()
 
@@ -168,6 +173,57 @@ func run() int {
 		}
 		fmt.Printf("wrote %s\n", *prefetchOut)
 		if bad {
+			return 1
+		}
+		return 0
+	}
+
+	if *chaos {
+		cfg := harness.DefaultChaosConfig()
+		if *chaosSeeds > 0 {
+			cfg.Schedules = *chaosSeeds
+		}
+		if *seed != 1 {
+			cfg.FaultSeed = *seed
+		}
+		fmt.Printf("running chaos sweep (%d strategies × %d schedules, fault seed base %d)...\n",
+			len(cfg.Strategies), cfg.Schedules, cfg.FaultSeed)
+		start := time.Now()
+		bench, err := harness.RunChaos(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			return 1
+		}
+		for _, s := range bench.Strategies {
+			var injected, retries, recovered, degraded, cleanErrs, rows int64
+			for _, r := range s.Runs {
+				injected += r.Faults.Injected
+				retries += r.Retries
+				recovered += r.Recovered
+				degraded += r.CacheDegraded
+				cleanErrs += int64(r.CleanErrors)
+				rows += int64(r.RowsCompared)
+			}
+			fmt.Printf("  %-16s baseline_reads=%-6d rows_checked=%-5d faults=%-4d retried=%-4d recovered=%-4d degraded=%-3d clean_errors=%d\n",
+				s.Strategy, s.BaselineReads, rows, injected, retries, recovered, degraded, cleanErrs)
+		}
+		viol := bench.AllViolations()
+		for _, v := range viol {
+			fmt.Fprintf(os.Stderr, "chaos: VIOLATION %s\n", v)
+		}
+		fmt.Printf("  %d violation(s) in %s\n", len(viol), time.Since(start).Round(time.Millisecond))
+		f, err := os.Create(*chaosOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *chaosOut)
+		if len(viol) > 0 {
 			return 1
 		}
 		return 0

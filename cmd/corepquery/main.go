@@ -13,13 +13,16 @@
 //	retrieve (...) [where ...]   run a query
 //	\path <group-key>            retrieve (group.members.name) for one group
 //	\stats                       cumulative simulated I/O
+//	\faults                      fault-injection and retry counters
 //	\metrics                     aggregated metrics report (with -metrics)
 //	\help                        this text
 //	\quit
 //
 // Flags: -trace streams per-span JSON lines to stderr, -metrics
 // aggregates I/O histograms readable via \metrics, -profile <prefix>
-// writes CPU/heap profiles on exit.
+// writes CPU/heap profiles on exit. The -fault-* flags arm a seeded
+// deterministic fault plan (e.g. -fault-transient 0.01) so retry and
+// degradation behavior can be explored interactively.
 package main
 
 import (
@@ -41,6 +44,11 @@ func main() {
 		metrics = flag.Bool("metrics", false, "aggregate metrics (report with \\metrics)")
 		profile = flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof on exit")
 		latency = flag.Duration("latency", 0, "simulated per-page device latency (e.g. 200us)")
+
+		faultSeed      = flag.Int64("fault-seed", 1, "seed for the deterministic fault plan (with -fault-*)")
+		faultTransient = flag.Float64("fault-transient", 0, "per-transfer probability of a retryable read/write error")
+		faultPermanent = flag.Float64("fault-permanent", 0, "per-transfer probability of condemning the touched page")
+		faultTorn      = flag.Float64("fault-torn", 0, "per-write probability of a torn (half-persisted) write")
 	)
 	flag.Parse()
 
@@ -84,6 +92,16 @@ func main() {
 	if *latency > 0 {
 		db.SetDeviceLatency(*latency)
 	}
+	if *faultTransient > 0 || *faultPermanent > 0 || *faultTorn > 0 {
+		db.SetFaultPlan(&corep.FaultConfig{
+			Seed:          *faultSeed,
+			TransientRate: *faultTransient,
+			PermanentRate: *faultPermanent,
+			TornRate:      *faultTorn,
+		})
+		fmt.Printf("fault injection armed (seed=%d): transient=%g permanent=%g torn=%g — \\faults for counters\n",
+			*faultSeed, *faultTransient, *faultPermanent, *faultTorn)
+	}
 	fmt.Println("corep query shell — the paper's example database is loaded.")
 	fmt.Println("relations: person(OID,name,age), cyclist(OID,name), group(key,name,members)")
 	fmt.Printf("groups: %s\n", strings.Join(groups, ", "))
@@ -106,10 +124,14 @@ func main() {
 		case line == `\quit` || line == `\q`:
 			return
 		case line == `\help`:
-			fmt.Println(`retrieve (...) [where ...] | \path <key> | \stats | \metrics | \quit`)
+			fmt.Println(`retrieve (...) [where ...] | \path <key> | \stats | \faults | \metrics | \quit`)
 		case line == `\stats`:
 			s := db.Stats()
 			fmt.Printf("simulated I/O: %d reads, %d writes\n", s.Reads, s.Writes)
+		case line == `\faults`:
+			fs := db.FaultStats()
+			fmt.Printf("faults: %d injected over %d ops (%d transient, %d permanent hits, %d torn, %d spikes); pool retried %d, recovered %d\n",
+				fs.Injected, fs.Ops, fs.Transient, fs.Permanent, fs.Torn, fs.Spikes, fs.Retries, fs.Recovered)
 		case line == `\metrics`:
 			db.MetricsReport(os.Stdout)
 		case strings.HasPrefix(line, `\path`):

@@ -89,6 +89,9 @@ type Database struct {
 	// cacheMode selects what procedural children cache (SetCacheMode).
 	cacheMode CacheMode
 
+	// faults is the installed fault plan, if any (SetFaultPlan).
+	faults *disk.FaultPlan
+
 	// obs is the observability context (TraceTo / EnableMetrics); the
 	// zero value collects nothing.
 	obs obs.Ctx

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"corep/internal/disk"
 	"corep/internal/obs"
@@ -59,16 +60,19 @@ func (p Policy) Valid() bool { return p <= Random }
 // Stats counts buffer-pool events. Disk-level reads/writes are tracked
 // by the disk manager; these counters describe pool behaviour.
 type Stats struct {
-	Hits    int64 // page requests served from the pool
-	Misses  int64 // page requests that went to disk
-	Flushes int64 // dirty pages written back
-	Pins    int64 // total pin operations
+	Hits      int64 // page requests served from the pool
+	Misses    int64 // page requests that went to disk
+	Flushes   int64 // dirty pages written back
+	Pins      int64 // total pin operations
+	Retries   int64 // disk operations reissued after a transient fault
+	Recovered int64 // disk operations that succeeded after retrying
 }
 
 // Sub returns the counter deltas s - o.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses,
-		Flushes: s.Flushes - o.Flushes, Pins: s.Pins - o.Pins}
+		Flushes: s.Flushes - o.Flushes, Pins: s.Pins - o.Pins,
+		Retries: s.Retries - o.Retries, Recovered: s.Recovered - o.Recovered}
 }
 
 // HitRate returns hits / (hits+misses), or 0 with no traffic.
@@ -90,8 +94,29 @@ func (s Stats) Counters() []obs.KV {
 		{Key: "buffer.misses", Value: s.Misses},
 		{Key: "buffer.flushes", Value: s.Flushes},
 		{Key: "buffer.pins", Value: s.Pins},
+		{Key: "buffer.retries", Value: s.Retries},
+		{Key: "buffer.recovered", Value: s.Recovered},
 	}
 }
+
+// RetryPolicy bounds how the pool reissues disk operations that fail
+// with a transient injected fault (disk.IsTransient). Permanent faults
+// and real errors are never retried. With no fault injector installed
+// the policy is inert: no disk error is transient, so every counter and
+// every I/O count is bit-identical to a pool without retry.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation (first
+	// attempt included). Values < 1 mean 1: no retry.
+	MaxAttempts int
+	// Backoff is slept before retry k as Backoff << (k-1). It is served
+	// under the shard lock — keep it at simulation scale (microseconds),
+	// like disk.Sim's device latency.
+	Backoff time.Duration
+}
+
+// DefaultRetryPolicy rides out a default fault plan's transient episode
+// (length 2) with one attempt to spare, without sleeping.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 3}
 
 type frame struct {
 	id    disk.PageID
@@ -120,8 +145,40 @@ type shard struct {
 	rng    *rand.Rand
 	frames map[disk.PageID]*frame
 	lru    *list.List // unpinned frames, front = least recently used
+	retry  atomic.Pointer[RetryPolicy]
 
-	hits, misses, flushes, pins atomic.Int64
+	hits, misses, flushes, pins, retries, recovered atomic.Int64
+}
+
+// run executes a disk operation under the shard's retry policy:
+// transient faults are reissued up to MaxAttempts times, everything
+// else returns immediately.
+func (s *shard) run(op func() error) error {
+	rp := *s.retry.Load()
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			if attempt > 1 {
+				s.recovered.Add(1)
+			}
+			return nil
+		}
+		if attempt >= rp.MaxAttempts || !disk.IsTransient(err) {
+			return err
+		}
+		s.retries.Add(1)
+		if d := rp.Backoff; d > 0 {
+			time.Sleep(d << (attempt - 1))
+		}
+	}
+}
+
+func (s *shard) readPage(id disk.PageID, buf []byte) error {
+	return s.run(func() error { return s.dm.Read(id, buf) })
+}
+
+func (s *shard) writePage(id disk.PageID, buf []byte) error {
+	return s.run(func() error { return s.dm.Write(id, buf) })
 }
 
 // Pool is a fixed-capacity buffer pool striped into one or more shards.
@@ -189,6 +246,8 @@ func NewSharded(dm disk.Manager, capacity int, policy Policy, numShards int) (*P
 			frames: make(map[disk.PageID]*frame, c),
 			lru:    list.New(),
 		}
+		rp := DefaultRetryPolicy
+		p.shards[i].retry.Store(&rp)
 	}
 	return p, nil
 }
@@ -223,8 +282,21 @@ func (p *Pool) Stats() Stats {
 		s.Misses += sh.misses.Load()
 		s.Flushes += sh.flushes.Load()
 		s.Pins += sh.pins.Load()
+		s.Retries += sh.retries.Load()
+		s.Recovered += sh.recovered.Load()
 	}
 	return s
+}
+
+// SetRetryPolicy installs the transient-fault retry policy on every
+// shard (DefaultRetryPolicy at construction).
+func (p *Pool) SetRetryPolicy(rp RetryPolicy) {
+	if rp.MaxAttempts < 1 {
+		rp.MaxAttempts = 1
+	}
+	for _, s := range p.shards {
+		s.retry.Store(&rp)
+	}
 }
 
 // SetObs installs the observability context operators below the workload
@@ -288,7 +360,7 @@ func (s *shard) pinLockedFetch(id disk.PageID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.dm.Read(id, f.buf); err != nil {
+	if err := s.readPage(id, f.buf); err != nil {
 		return nil, err
 	}
 	f.id, f.pins, f.dirty, f.scan = id, 1, false, false
@@ -315,7 +387,7 @@ func (p *Pool) PinScan(id disk.PageID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.dm.Read(id, f.buf); err != nil {
+	if err := s.readPage(id, f.buf); err != nil {
 		return nil, err
 	}
 	f.id, f.pins, f.dirty, f.scan, f.ref = id, 1, false, true, false
@@ -381,7 +453,14 @@ func (p *Pool) GetBatch(ids []disk.PageID, fn func(i int, buf []byte) error) err
 // NewPage allocates a fresh disk page, pins it and returns its id and
 // buffer. The frame starts dirty (it must reach disk eventually).
 func (p *Pool) NewPage() (disk.PageID, []byte, error) {
-	id, err := p.dm.Alloc()
+	// Alloc retries run under shard 0's policy (the target shard is
+	// unknown until the id exists); its counters absorb them.
+	var id disk.PageID
+	err := p.shards[0].run(func() error {
+		var e error
+		id, e = p.dm.Alloc()
+		return e
+	})
 	if err != nil {
 		return disk.InvalidPageID, nil, err
 	}
@@ -431,7 +510,7 @@ func (p *Pool) FlushAll() error {
 		s.mu.Lock()
 		for _, f := range s.frames {
 			if f.dirty {
-				if err := s.dm.Write(f.id, f.buf); err != nil {
+				if err := s.writePage(f.id, f.buf); err != nil {
 					s.mu.Unlock()
 					return err
 				}
@@ -455,7 +534,7 @@ func (p *Pool) Invalidate() error {
 				return fmt.Errorf("buffer: invalidate with pinned page %d", id)
 			}
 			if f.dirty {
-				if err := s.dm.Write(f.id, f.buf); err != nil {
+				if err := s.writePage(f.id, f.buf); err != nil {
 					s.mu.Unlock()
 					return err
 				}
@@ -509,7 +588,7 @@ func (s *shard) victimLocked() (*frame, error) {
 	// Write back before detaching: if the write fails, the dirty frame
 	// stays resident and no data is lost.
 	if f.dirty {
-		if err := s.dm.Write(f.id, f.buf); err != nil {
+		if err := s.writePage(f.id, f.buf); err != nil {
 			return nil, err
 		}
 		f.dirty = false

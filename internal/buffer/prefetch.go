@@ -57,6 +57,7 @@ type PrefetchStats struct {
 	Coalesced int64 // duplicate requests dropped before fetching
 	Wasted    int64 // staged pages released unconsumed
 	Dropped   int64 // requests abandoned (errors, shutdown, chain finished)
+	FetchErrs int64 // fetches that failed (faults included); consumer falls back to a synchronous read
 }
 
 // Sub returns the counter deltas s - o.
@@ -68,6 +69,7 @@ func (s PrefetchStats) Sub(o PrefetchStats) PrefetchStats {
 		Coalesced: s.Coalesced - o.Coalesced,
 		Wasted:    s.Wasted - o.Wasted,
 		Dropped:   s.Dropped - o.Dropped,
+		FetchErrs: s.FetchErrs - o.FetchErrs,
 	}
 }
 
@@ -80,6 +82,7 @@ func (s PrefetchStats) Counters() []obs.KV {
 		{Key: "prefetch.coalesced", Value: s.Coalesced},
 		{Key: "prefetch.wasted", Value: s.Wasted},
 		{Key: "prefetch.dropped", Value: s.Dropped},
+		{Key: "prefetch.fetch_errors", Value: s.FetchErrs},
 	}
 }
 
@@ -107,7 +110,7 @@ type Prefetcher struct {
 	inflight int // requests queued or being fetched
 	staged   int // pages parked (pinned) awaiting their consumer
 
-	requested, stagedN, consumed, coalesced, wasted, dropped atomic.Int64
+	requested, stagedN, consumed, coalesced, wasted, dropped, fetchErrs atomic.Int64
 }
 
 // Chain is one consumer's prefetch stream: an ordered plan of upcoming
@@ -118,12 +121,12 @@ type Chain struct {
 
 	// Guarded by pf.mu.
 	plan     []disk.PageID
-	next     int                   // plan cursor: next index to request
-	inflight int                   // requests outstanding for this chain
-	inFly    map[disk.PageID]bool  // ids queued or being fetched
-	staged   map[disk.PageID]bool  // ids parked (pinned) for the consumer
-	pending  map[disk.PageID]bool  // consumed before the fetch landed
-	seen     map[disk.PageID]bool  // ever requested on this chain
+	next     int                  // plan cursor: next index to request
+	inflight int                  // requests outstanding for this chain
+	inFly    map[disk.PageID]bool // ids queued or being fetched
+	staged   map[disk.PageID]bool // ids parked (pinned) for the consumer
+	pending  map[disk.PageID]bool // consumed before the fetch landed
+	seen     map[disk.PageID]bool // ever requested on this chain
 	done     bool
 }
 
@@ -187,7 +190,31 @@ func (pf *Prefetcher) Stats() PrefetchStats {
 		Coalesced: pf.coalesced.Load(),
 		Wasted:    pf.wasted.Load(),
 		Dropped:   pf.dropped.Load(),
+		FetchErrs: pf.fetchErrs.Load(),
 	}
+}
+
+// StagedCount returns the number of pages currently parked (pinned)
+// awaiting a consumer (0 on nil). Leak checks assert this is zero after
+// every chain has finished.
+func (pf *Prefetcher) StagedCount() int {
+	if pf == nil {
+		return 0
+	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.staged
+}
+
+// InflightCount returns the number of requests queued or being fetched
+// (0 on nil).
+func (pf *Prefetcher) InflightCount() int {
+	if pf == nil {
+		return 0
+	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.inflight
 }
 
 // Start opens a chain primed with plan — the pages the consumer expects
@@ -420,9 +447,13 @@ func (pf *Prefetcher) fetch(r request) {
 	delete(r.c.inFly, r.id)
 	switch {
 	case err != nil:
-		// E.g. every frame of the shard momentarily pinned; the consumer
-		// will read the page synchronously.
+		// E.g. every frame of the shard momentarily pinned, or an injected
+		// disk fault. The request is dropped without staging anything, so
+		// the consumer's Pin takes the synchronous read path and surfaces
+		// (or retries) the error itself — a faulted fetch degrades the
+		// chain, never poisons it.
 		pf.dropped.Add(1)
+		pf.fetchErrs.Add(1)
 	case pf.closed || r.c.done:
 		pf.pool.Unpin(r.id, false)
 		pf.wasted.Add(1)

@@ -20,9 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"corep/internal/buffer"
+	"corep/internal/disk"
 	"corep/internal/hashfile"
 	"corep/internal/object"
 	"corep/internal/obs"
@@ -35,6 +37,8 @@ type Stats struct {
 	Inserts       int64 // units cached
 	Evictions     int64 // units evicted for capacity
 	Invalidations int64 // units invalidated by updates
+	Degraded      int64 // operations degraded by a disk fault (lookup→miss, insert skipped)
+	Orphans       int64 // hash-file entries left behind by faulted deletes
 }
 
 // Sub returns the counter deltas s - o.
@@ -42,6 +46,7 @@ func (s Stats) Sub(o Stats) Stats {
 	return Stats{
 		Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses, Inserts: s.Inserts - o.Inserts,
 		Evictions: s.Evictions - o.Evictions, Invalidations: s.Invalidations - o.Invalidations,
+		Degraded: s.Degraded - o.Degraded, Orphans: s.Orphans - o.Orphans,
 	}
 }
 
@@ -66,6 +71,8 @@ func (s Stats) Counters() []obs.KV {
 		{Key: "cache.inserts", Value: s.Inserts},
 		{Key: "cache.evictions", Value: s.Evictions},
 		{Key: "cache.invalidations", Value: s.Invalidations},
+		{Key: "cache.degraded", Value: s.Degraded},
+		{Key: "cache.orphans", Value: s.Orphans},
 	}
 }
 
@@ -185,6 +192,19 @@ func (c *Cache) Lookup(u object.Unit) (value []byte, ok bool, err error) {
 	for i := 0; i < segs; i++ {
 		v, err := c.file.Get(segKey(key, i))
 		if err != nil {
+			if disk.IsFault(err) {
+				// Graceful degradation: a faulted segment turns the hit
+				// into a miss. The entry is dropped so later lookups don't
+				// re-probe a bad page, and the caller re-materializes the
+				// unit from the base relations — same rows, more I/O.
+				sp.SetAttr("degraded", 1)
+				if derr := c.drop(key); derr != nil {
+					return nil, false, derr
+				}
+				c.stats.Degraded++
+				c.stats.Misses++
+				return nil, false, nil
+			}
 			return nil, false, fmt.Errorf("cache: directory/file mismatch for key %d seg %d: %w", key, i, err)
 		}
 		out = append(out, v...)
@@ -221,7 +241,8 @@ func (c *Cache) InsertWithLocks(u object.Unit, locks []object.OID, value []byte)
 	// Replace any previous segments, then write the new ones.
 	if old, exists := c.segments[key]; exists {
 		for i := 0; i < old; i++ {
-			if err := c.file.Delete(segKey(key, i)); err != nil && !errors.Is(err, hashfile.ErrNotFound) {
+			if err := c.deleteSeg(segKey(key, i)); err != nil {
+				c.abortInsert(key, 0)
 				return err
 			}
 		}
@@ -234,6 +255,13 @@ func (c *Cache) InsertWithLocks(u object.Unit, locks []object.OID, value []byte)
 			hi = len(value)
 		}
 		if err := c.file.Put(segKey(key, i), value[lo:hi]); err != nil {
+			// Fail safe: whatever was written (and whatever the entry held
+			// before) must read as a miss, never as a directory/file
+			// mismatch. Callers treat a faulted insert as "not cached".
+			c.abortInsert(key, i)
+			if disk.IsFault(err) {
+				c.stats.Degraded++
+			}
 			return err
 		}
 	}
@@ -253,32 +281,68 @@ func (c *Cache) InsertWithLocks(u object.Unit, locks []object.OID, value []byte)
 	return nil
 }
 
+// abortInsert unwinds a half-done insert or replace so the entry reads
+// as a miss: the `written` new segments are deleted best-effort and the
+// unit (if it was cached before) leaves the directory — its old value
+// is partially gone and must never be served.
+func (c *Cache) abortInsert(key int64, written int) {
+	if _, ok := c.units[key]; ok {
+		c.segments[key] = written
+		c.drop(key) //nolint:errcheck // best effort: the insert error is already surfacing
+		return
+	}
+	for i := 0; i < written; i++ {
+		c.deleteSeg(segKey(key, i)) //nolint:errcheck // best effort
+	}
+	delete(c.segments, key)
+}
+
 // evictOne removes one randomly chosen unit.
 func (c *Cache) evictOne() error {
-	// Map iteration order is already randomized, but seed-determinism
-	// matters for reproducible experiments: pick the n-th key by rng.
-	n := c.rng.Intn(len(c.units))
-	var victim int64
+	// Seed-determinism matters for reproducible experiments: indexing a
+	// map range by rng still inherits the map's randomized iteration
+	// order, so sort the keys before the draw — same seed, same victim.
+	keys := make([]int64, 0, len(c.units))
 	for k := range c.units {
-		if n == 0 {
-			victim = k
-			break
-		}
-		n--
+		keys = append(keys, k)
 	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	victim := keys[c.rng.Intn(len(keys))]
 	c.stats.Evictions++
 	return c.drop(victim)
 }
 
+// deleteSeg removes one hash-file entry. A missing entry is fine; a
+// delete aborted by an injected fault leaves the entry behind as an
+// orphan, counted in Stats.Orphans (CheckInvariants bounds the file
+// count by it). Only non-fault errors are returned.
+func (c *Cache) deleteSeg(k int64) error {
+	err := c.file.Delete(k)
+	switch {
+	case err == nil || errors.Is(err, hashfile.ErrNotFound):
+		return nil
+	case disk.IsFault(err):
+		c.stats.Orphans++
+		return nil
+	default:
+		c.stats.Orphans++
+		return err
+	}
+}
+
 // drop removes a unit from the file, the directory and the lock table.
+// The in-memory directory is always cleaned, even when hash-file
+// deletes fail: a unit must never stay visible after an invalidation
+// or eviction decision, or a later lookup could serve a stale value.
 func (c *Cache) drop(key int64) error {
 	u, ok := c.units[key]
 	if !ok {
 		return nil
 	}
+	var firstErr error
 	for i := 0; i < c.segments[key]; i++ {
-		if err := c.file.Delete(segKey(key, i)); err != nil && !errors.Is(err, hashfile.ErrNotFound) {
-			return err
+		if err := c.deleteSeg(segKey(key, i)); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	delete(c.segments, key)
@@ -291,7 +355,7 @@ func (c *Cache) drop(key int64) error {
 			}
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // Invalidate drops every cached unit holding an I-lock on the updated
@@ -379,8 +443,17 @@ func (c *Cache) CheckInvariants() error {
 	for key := range c.units {
 		wantEntries += c.segments[key]
 	}
-	if c.file.Count() != wantEntries {
-		return fmt.Errorf("cache: hash file holds %d entries, directory expects %d", c.file.Count(), wantEntries)
+	cnt := c.file.Count()
+	if c.stats.Orphans == 0 {
+		if cnt != wantEntries {
+			return fmt.Errorf("cache: hash file holds %d entries, directory expects %d", cnt, wantEntries)
+		}
+	} else if cnt < wantEntries || cnt > wantEntries+int(c.stats.Orphans) {
+		// Faulted deletes orphan entries in the file; the count may
+		// exceed the directory by at most the orphan count (an orphan can
+		// also be silently reclaimed by a later Put of the same key).
+		return fmt.Errorf("cache: hash file holds %d entries, directory expects %d..%d (%d orphans)",
+			cnt, wantEntries, wantEntries+int(c.stats.Orphans), c.stats.Orphans)
 	}
 	return nil
 }

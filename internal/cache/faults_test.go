@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"corep/internal/buffer"
+	"corep/internal/disk"
+)
+
+// newFaultedCache builds a cache whose pool we can chill, so injected
+// disk faults actually reach the hash file (a warm pool absorbs reads).
+func newFaultedCache(t *testing.T) (*Cache, *buffer.Pool, *disk.Sim) {
+	t.Helper()
+	d := disk.NewSim()
+	pool := buffer.New(d, 64)
+	c, err := New(pool, 8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, pool, d
+}
+
+// permanentFaults fails every read/write with a non-retryable fault.
+func permanentFaults() disk.FaultFunc {
+	return func(op string, _ disk.PageID) error {
+		if op == "alloc" {
+			return nil
+		}
+		return disk.ErrPermanent
+	}
+}
+
+func TestLookupFaultDegradesToMiss(t *testing.T) {
+	c, pool, d := newFaultedCache(t)
+	u := unit(1, 2, 3)
+	val := bytes.Repeat([]byte{0x42}, 2*maxSegment) // spans two segments
+	if err := c.Insert(u, val); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFault(permanentFaults())
+	v, ok, err := c.Lookup(u)
+	if err != nil || ok || v != nil {
+		t.Fatalf("faulted lookup: v=%v ok=%v err=%v, want clean miss", v, ok, err)
+	}
+	if c.IsCached(u) {
+		t.Fatal("faulted entry still cached — a later lookup would re-probe the bad page")
+	}
+	st := c.Stats()
+	if st.Degraded != 1 {
+		t.Fatalf("stats = %+v, want Degraded=1", st)
+	}
+	d.SetFault(nil)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The unit can be re-cached once the device recovers.
+	if err := c.Insert(u, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Lookup(u)
+	if err != nil || !ok || !bytes.Equal(got, val) {
+		t.Fatalf("lookup after recovery: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestInsertFaultFailsSafe(t *testing.T) {
+	c, pool, d := newFaultedCache(t)
+	u := unit(4, 5)
+	if err := pool.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFault(permanentFaults())
+	if err := c.Insert(u, []byte("value")); !disk.IsFault(err) {
+		t.Fatalf("faulted insert err = %v, want attributed fault", err)
+	}
+	if c.IsCached(u) {
+		t.Fatal("failed insert left the unit in the directory")
+	}
+	d.SetFault(nil)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(u, []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Lookup(u)
+	if err != nil || !ok || string(v) != "value" {
+		t.Fatalf("insert after recovery: v=%q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestInvalidateUnderFaultsNeverLeavesStale(t *testing.T) {
+	c, pool, d := newFaultedCache(t)
+	u := unit(7, 8, 9)
+	if err := c.Insert(u, bytes.Repeat([]byte{9}, maxSegment+1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFault(permanentFaults())
+	// The hash-file deletes fault and orphan their entries, but the unit
+	// must leave the directory regardless: I-lock semantics over all.
+	n, err := c.Invalidate(u[0])
+	if err != nil {
+		t.Fatalf("invalidate under faults: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("invalidated %d units, want 1", n)
+	}
+	if c.IsCached(u) {
+		t.Fatal("stale unit survived invalidation under faults")
+	}
+	if v, ok, _ := c.Lookup(u); ok {
+		t.Fatalf("stale value served after invalidation: %q", v)
+	}
+	d.SetFault(nil)
+	st := c.Stats()
+	if st.Orphans == 0 {
+		t.Fatalf("stats = %+v, want Orphans > 0 (deletes were faulted)", st)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

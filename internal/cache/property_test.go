@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"corep/internal/buffer"
+	"corep/internal/disk"
+	"corep/internal/object"
+)
+
+// The staleness property behind the I-lock protocol (§3.2): a cached
+// unit observed by a reader is never older than the last committed
+// update to any of its members. The serve path enforces it with the
+// database latch — retrieves (lookup, miss-materialize, insert) run
+// under the shared latch, updates (version bump + Invalidate) under the
+// exclusive latch — so the cache may only ever hold current values.
+//
+// propertyHarness runs a seeded interleaving of readers and writers
+// under that discipline and fails on any stale hit. Values encode the
+// member versions at materialization time; a hit whose decoded versions
+// differ from the committed versions is a protocol violation.
+type propertyHarness struct {
+	t     *testing.T
+	c     *Cache
+	latch sync.RWMutex
+	ver   []int64 // committed version per OID key, guarded by latch
+	units []object.Unit
+	pad   []int // deterministic padding per unit, spans segments
+}
+
+func newPropertyHarness(t *testing.T) (*propertyHarness, *disk.Sim) {
+	t.Helper()
+	// A deliberately tiny pool: the hash file's pages are evicted
+	// constantly, so every lookup/insert/drop really hits the disk and a
+	// fault plan gets traffic to bite on.
+	d := disk.NewSim()
+	c, err := New(buffer.New(d, 4), 8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	const numOIDs = 12
+	h := &propertyHarness{t: t, c: c, ver: make([]int64, numOIDs+1)}
+	for i := 0; i < 20; i++ {
+		n := 1 + rng.Intn(3)
+		keys := make([]int64, n)
+		for j := range keys {
+			keys[j] = 1 + int64(rng.Intn(numOIDs))
+		}
+		h.units = append(h.units, unit(keys...))
+		// A third of the units span two hash-file segments so
+		// invalidation exercises multi-segment drops.
+		h.pad = append(h.pad, (i%3)*(maxSegment/2+maxSegment/4))
+	}
+	return h, d
+}
+
+// value materializes the unit's cache value from the committed
+// versions. Caller holds the latch (shared is enough: writers are
+// exclusive).
+func (h *propertyHarness) value(i int) []byte {
+	u := h.units[i]
+	out := make([]byte, 8*len(u), 8*len(u)+h.pad[i])
+	for j, o := range u {
+		binary.LittleEndian.PutUint64(out[8*j:], uint64(h.ver[o.Key()]))
+	}
+	for k := 0; k < h.pad[i]; k++ {
+		out = append(out, byte(i))
+	}
+	return out
+}
+
+func (h *propertyHarness) read(i int) {
+	h.latch.RLock()
+	defer h.latch.RUnlock()
+	u := h.units[i]
+	v, ok, err := h.c.Lookup(u)
+	if err != nil {
+		h.t.Errorf("lookup: %v", err)
+		return
+	}
+	if ok {
+		if len(v) < 8*len(u) {
+			h.t.Errorf("unit %d: cached value truncated to %d bytes", i, len(v))
+			return
+		}
+		for j, o := range u {
+			got := int64(binary.LittleEndian.Uint64(v[8*j:]))
+			if want := h.ver[o.Key()]; got != want {
+				h.t.Errorf("STALE: unit %d member %v at version %d, committed is %d", i, o, got, want)
+			}
+		}
+		return
+	}
+	// Miss: re-materialize at the committed versions and cache it, still
+	// under the shared latch — exactly what strategy.Retrieve does. A
+	// faulted insert fails safe (the unit just stays uncached).
+	if err := h.c.Insert(u, h.value(i)); err != nil && !disk.IsFault(err) {
+		h.t.Errorf("insert: %v", err)
+	}
+}
+
+func (h *propertyHarness) update(key int64) {
+	h.latch.Lock()
+	defer h.latch.Unlock()
+	h.ver[key]++
+	if _, err := h.c.Invalidate(object.NewOID(2, key)); err != nil {
+		h.t.Errorf("invalidate: %v", err)
+	}
+}
+
+func (h *propertyHarness) run(seed int64, goroutines, opsEach int) {
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			for op := 0; op < opsEach; op++ {
+				if rng.Float64() < 0.3 {
+					h.update(1 + int64(rng.Intn(len(h.ver)-1)))
+				} else {
+					h.read(rng.Intn(len(h.units)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCacheNeverServesStale is the fault-free property run: heavy
+// reader/writer churn through an 8-unit cache (constant eviction) must
+// never surface a stale hit, and the unit↔I-lock cross references must
+// survive. Run under -race in CI.
+func TestCacheNeverServesStale(t *testing.T) {
+	h, _ := newPropertyHarness(t)
+	h.run(7, 6, 400)
+	if err := h.c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := h.c.Stats()
+	if st.Hits == 0 || st.Invalidations == 0 {
+		t.Fatalf("degenerate run, property untested: %+v", st)
+	}
+}
+
+// TestCacheNeverServesStaleUnderFaults repeats the property run with a
+// seeded fault plan injecting transient and permanent page errors into
+// the hash file's disk. Degradation may turn hits into misses and
+// inserts into no-ops, and orphaned segments may accumulate — but a hit
+// must still never be stale.
+func TestCacheNeverServesStaleUnderFaults(t *testing.T) {
+	h, d := newPropertyHarness(t)
+	plan := disk.NewFaultPlan(disk.FaultPlanConfig{
+		Seed:       31,
+		PTransient: 0.01,
+		PPermanent: 0.002,
+		PTorn:      0.002,
+	})
+	d.SetFault(plan.Fn())
+	h.run(13, 6, 400)
+	d.SetFault(nil)
+	if err := h.c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := h.c.Stats()
+	if plan.Stats().Injected == 0 {
+		t.Fatal("fault plan injected nothing — property untested under faults")
+	}
+	if st.Hits == 0 || st.Invalidations == 0 {
+		t.Fatalf("degenerate run, property untested: %+v", st)
+	}
+}

@@ -23,6 +23,10 @@ import (
 // the paper's environment.
 const PageSize = 2048
 
+// TornPrefix is how many bytes of a page survive a torn write: the
+// device wrote the first sector run and died before the rest.
+const TornPrefix = PageSize / 2
+
 // PageID names a page on the simulated disk. Page ids are dense and
 // allocated in increasing order; InvalidPageID is never allocated.
 type PageID uint32
@@ -78,6 +82,30 @@ var (
 	ErrBadPageSize  = errors.New("disk: buffer is not PageSize bytes")
 	ErrFaulted      = errors.New("disk: injected fault")
 )
+
+// Fault taxonomy. Every injected error wraps ErrFaulted, so
+// errors.Is(err, ErrFaulted) attributes any failure — however deep it
+// surfaced — back to the injector. The sub-kinds drive policy:
+//
+//   - ErrTransient: retry-safe; the same operation may succeed if
+//     reissued (a recoverable device hiccup). The buffer pool retries
+//     these a bounded number of times.
+//   - ErrPermanent: the page is gone; retrying is futile and callers
+//     must degrade or surface the error.
+//   - ErrTornWrite: the write was interrupted mid-page. The disk keeps
+//     the first half of the new contents (a torn page); the caller's
+//     in-memory copy remains the only full copy.
+var (
+	ErrTransient = fmt.Errorf("%w: transient", ErrFaulted)
+	ErrPermanent = fmt.Errorf("%w: permanent", ErrFaulted)
+	ErrTornWrite = fmt.Errorf("%w: torn write", ErrFaulted)
+)
+
+// IsFault reports whether err originated from an injected fault.
+func IsFault(err error) bool { return errors.Is(err, ErrFaulted) }
+
+// IsTransient reports whether err is a retry-safe injected fault.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
 
 // Manager is the disk interface used by the buffer pool. Implementations
 // must be safe for concurrent use.
@@ -198,6 +226,15 @@ func (d *Sim) Write(id PageID, buf []byte) error {
 	d.mu.RLock()
 	if d.fault != nil {
 		if err := d.fault("write", id); err != nil {
+			// A torn write leaves the first half of the new contents on
+			// the page before failing; the caller must keep its full
+			// in-memory copy (the buffer pool leaves the frame dirty and
+			// resident, so the torn page is rewritten before any reread).
+			if errors.Is(err, ErrTornWrite) {
+				if p, perr := d.page(id); perr == nil {
+					copy(p[:TornPrefix], buf[:TornPrefix])
+				}
+			}
 			d.mu.RUnlock()
 			return err
 		}

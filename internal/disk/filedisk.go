@@ -1,6 +1,7 @@
 package disk
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -16,6 +17,18 @@ type FileDisk struct {
 	f     *os.File
 	pages int
 	stats Stats
+	fault FaultFunc
+}
+
+// SetFault installs (or clears, with nil) a fault injector. The same
+// FaultFunc contract as Sim.SetFault: it is consulted before every
+// operation and a non-nil return aborts it. A torn-write fault
+// additionally persists the first TornPrefix bytes of the new contents
+// before failing, modeling a write interrupted mid-page on real media.
+func (d *FileDisk) SetFault(f FaultFunc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fault = f
 }
 
 // OpenFile opens (creating if absent) a page file. An existing file's
@@ -42,6 +55,11 @@ func (d *FileDisk) Alloc() (PageID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	id := PageID(d.pages + 1)
+	if d.fault != nil {
+		if err := d.fault("alloc", id); err != nil {
+			return InvalidPageID, err
+		}
+	}
 	var zero [PageSize]byte
 	if _, err := d.f.WriteAt(zero[:], int64(d.pages)*PageSize); err != nil {
 		return InvalidPageID, err
@@ -61,6 +79,11 @@ func (d *FileDisk) Read(id PageID, buf []byte) error {
 	if id == InvalidPageID || int(id) > d.pages {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
+	if d.fault != nil {
+		if err := d.fault("read", id); err != nil {
+			return err
+		}
+	}
 	if _, err := d.f.ReadAt(buf, int64(id-1)*PageSize); err != nil {
 		return err
 	}
@@ -77,6 +100,14 @@ func (d *FileDisk) Write(id PageID, buf []byte) error {
 	defer d.mu.Unlock()
 	if id == InvalidPageID || int(id) > d.pages {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	if d.fault != nil {
+		if err := d.fault("write", id); err != nil {
+			if errors.Is(err, ErrTornWrite) {
+				d.f.WriteAt(buf[:TornPrefix], int64(id-1)*PageSize)
+			}
+			return err
+		}
 	}
 	if _, err := d.f.WriteAt(buf, int64(id-1)*PageSize); err != nil {
 		return err

@@ -97,13 +97,12 @@ func AdaptiveRetrieves(numTop int) int {
 	return n
 }
 
-// Run builds the database, generates the sequence, executes it and
-// returns the measurement.
-func Run(rc RunConfig) (*Measurement, error) {
-	dbCfg := rc.DB.WithDefaults()
-	// Provision only the structures the strategy needs, as the paper's
-	// experiments do (Figure 2's representation choices).
-	switch rc.Strategy {
+// provisionFor adapts a database config to the structures the strategy
+// needs, as the paper's experiments do (Figure 2's representation
+// choices): caching strategies get a value cache, DFSCLUST gets the
+// clustered relation, everything else gets the bare base relations.
+func provisionFor(kind strategy.Kind, dbCfg workload.Config) workload.Config {
+	switch kind {
 	case strategy.DFSCACHE, strategy.SMART, strategy.DFSCACHEINSIDE:
 		if dbCfg.CacheUnits == 0 {
 			dbCfg.CacheUnits = workload.DefaultCacheUnits
@@ -116,6 +115,13 @@ func Run(rc RunConfig) (*Measurement, error) {
 		dbCfg.Clustered = false
 		dbCfg.CacheUnits = 0
 	}
+	return dbCfg
+}
+
+// Run builds the database, generates the sequence, executes it and
+// returns the measurement.
+func Run(rc RunConfig) (*Measurement, error) {
+	dbCfg := provisionFor(rc.Strategy, rc.DB.WithDefaults())
 	db, err := workload.Build(dbCfg)
 	if err != nil {
 		return nil, err

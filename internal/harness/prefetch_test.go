@@ -7,6 +7,7 @@ import (
 
 	"corep/internal/buffer"
 	"corep/internal/strategy"
+	"corep/internal/testutil"
 	"corep/internal/workload"
 )
 
@@ -92,6 +93,7 @@ func TestPrefetchShutdownRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
+	defer testutil.AssertNoLeaks(t, db.Pool)
 	st, err := strategy.New(strategy.DFSCACHE, db)
 	if err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"corep/internal/disk"
 	"corep/internal/strategy"
 	"corep/internal/workload"
 )
@@ -30,6 +31,18 @@ type ServeConfig struct {
 	// across pool stripes, so the benchmark models a wait to overlap;
 	// I/O counts are unaffected.
 	DiskLatency time.Duration
+
+	// IsolateErrors keeps the server loop alive when an operation fails:
+	// the error is counted (and sampled) in the result instead of
+	// cancelling every client. Off by default — benchmarks want
+	// fail-fast; a fault-injected server wants one bad query to cost one
+	// client one operation.
+	IsolateErrors bool
+
+	// FaultPlan, when non-nil, is installed on the database's disk for
+	// the measured phase (build and reset run fault-free). Pair it with
+	// IsolateErrors unless a single fault should abort the run.
+	FaultPlan *disk.FaultPlanConfig
 }
 
 // ServeResult is the outcome of one Serve run: throughput plus
@@ -48,6 +61,11 @@ type ServeResult struct {
 	Max time.Duration `json:"max_ns"`
 
 	TotalIO int64 `json:"total_io"`
+
+	// Failed counts operations that errored under IsolateErrors (always
+	// 0 without it: the first error aborts the run instead).
+	Failed       int      `json:"failed,omitempty"`
+	ErrorSamples []string `json:"error_samples,omitempty"`
 }
 
 func (r *ServeResult) String() string {
@@ -72,20 +90,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if cfg.NumTop < 1 {
 		cfg.NumTop = 1
 	}
-	dbCfg := cfg.DB.WithDefaults()
-	switch cfg.Strategy {
-	case strategy.DFSCACHE, strategy.SMART, strategy.DFSCACHEINSIDE:
-		if dbCfg.CacheUnits == 0 {
-			dbCfg.CacheUnits = workload.DefaultCacheUnits
-		}
-		dbCfg.Clustered = false
-	case strategy.DFSCLUST:
-		dbCfg.Clustered = true
-		dbCfg.CacheUnits = 0
-	default:
-		dbCfg.Clustered = false
-		dbCfg.CacheUnits = 0
-	}
+	dbCfg := provisionFor(cfg.Strategy, cfg.DB.WithDefaults())
 	db, err := workload.Build(dbCfg)
 	if err != nil {
 		return nil, err
@@ -108,6 +113,10 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		return nil, err
 	}
 	db.Disk.SetLatency(cfg.DiskLatency)
+	if cfg.FaultPlan != nil {
+		db.Disk.SetFault(disk.NewFaultPlan(*cfg.FaultPlan).Fn())
+		defer db.Disk.SetFault(nil)
+	}
 
 	var (
 		wg        sync.WaitGroup
@@ -116,11 +125,28 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		firstErr  error
 		retrieves atomic.Int64
 		updates   atomic.Int64
+		failed    atomic.Int64
 		latencies = make([][]time.Duration, cfg.Clients)
+		sampleMu  sync.Mutex
+		samples   []string
 	)
 	fail := func(err error) {
 		errOnce.Do(func() { firstErr = err })
 		stop.Store(true)
+	}
+	// isolate records an op failure and reports whether the client loop
+	// should keep going.
+	isolate := func(err error) bool {
+		if !cfg.IsolateErrors {
+			return false
+		}
+		failed.Add(1)
+		sampleMu.Lock()
+		if len(samples) < 5 {
+			samples = append(samples, err.Error())
+		}
+		sampleMu.Unlock()
+		return true
 	}
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
@@ -140,8 +166,12 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 					_, err := st.Retrieve(db, strategy.Query{Lo: op.Lo, Hi: op.Hi, AttrIdx: op.AttrIdx})
 					db.Latch.RUnlock()
 					if err != nil {
-						fail(fmt.Errorf("serve: client %d retrieve [%d,%d]: %w", c, op.Lo, op.Hi, err))
-						return
+						err = fmt.Errorf("serve: client %d retrieve [%d,%d]: %w", c, op.Lo, op.Hi, err)
+						if !isolate(err) {
+							fail(err)
+							return
+						}
+						continue
 					}
 					retrieves.Add(1)
 				case workload.OpUpdate:
@@ -149,8 +179,12 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 					err := st.Update(db, op)
 					db.Latch.Unlock()
 					if err != nil {
-						fail(fmt.Errorf("serve: client %d update: %w", c, err))
-						return
+						err = fmt.Errorf("serve: client %d update: %w", c, err)
+						if !isolate(err) {
+							fail(err)
+							return
+						}
+						continue
 					}
 					updates.Add(1)
 				}
@@ -187,7 +221,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		P99:       pct(0.99),
 		Max:       pct(1.0),
 		TotalIO:   db.Disk.Stats().Total(),
+		Failed:    int(failed.Load()),
 	}
+	res.ErrorSamples = samples
 	if elapsed > 0 {
 		res.QPS = float64(res.Retrieves+res.Updates) / elapsed.Seconds()
 	}

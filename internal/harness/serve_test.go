@@ -5,7 +5,9 @@ import (
 	"testing"
 	"time"
 
+	"corep/internal/disk"
 	"corep/internal/strategy"
+	"corep/internal/testutil"
 	"corep/internal/workload"
 )
 
@@ -102,6 +104,7 @@ func TestServeRaceStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer testutil.AssertNoLeaks(t, db.Pool)
 	st, err := strategy.New(strategy.DFSCACHE, db)
 	if err != nil {
 		t.Fatal(err)
@@ -223,5 +226,50 @@ func TestProbeBatchNeverCostsMore(t *testing.T) {
 	if batched.AvgIO > paper.AvgIO/2 {
 		t.Errorf("DFS nt=1000: batched %.2f vs paper %.2f — expected at least 2x I/O reduction",
 			batched.AvgIO, paper.AvgIO)
+	}
+}
+
+// TestServeIsolatesFaultedQueries runs the concurrent server under a
+// hostile fault plan: with IsolateErrors each failed operation costs
+// one client one op, without it the first failure cancels the run.
+func TestServeIsolatesFaultedQueries(t *testing.T) {
+	plan := disk.FaultPlanConfig{
+		Seed:         7,
+		PTransient:   0.02, // beyond the retry budget often enough to surface
+		TransientLen: 5,
+		PPermanent:   0.005,
+	}
+	cfg := ServeConfig{
+		DB:            workload.Config{NumParents: 300, Seed: 3, ProbeBatch: true, PoolShards: 4},
+		Strategy:      strategy.DFSCACHE,
+		Clients:       4,
+		OpsPerClient:  12,
+		PrUpdate:      0.2,
+		NumTop:        6,
+		IsolateErrors: true,
+		FaultPlan:     &plan,
+	}
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatalf("isolated serve aborted: %v", err)
+	}
+	if res.Failed == 0 {
+		t.Fatal("fault plan injected nothing — isolation untested (raise rates)")
+	}
+	// GenSequence emits Clients*OpsPerClient retrieves plus interleaved
+	// updates; every generated op must land in exactly one bucket.
+	if res.Retrieves+res.Updates+res.Failed < cfg.Clients*cfg.OpsPerClient {
+		t.Fatalf("ops lost: %d ok + %d failed < %d retrieves issued",
+			res.Retrieves+res.Updates, res.Failed, cfg.Clients*cfg.OpsPerClient)
+	}
+	if len(res.ErrorSamples) == 0 {
+		t.Fatal("no error samples recorded")
+	}
+
+	// Fail-fast path: same plan, no isolation — the run must abort with
+	// an attributed error.
+	cfg.IsolateErrors = false
+	if _, err := Serve(cfg); !disk.IsFault(err) {
+		t.Fatalf("fail-fast serve returned %v, want attributed fault", err)
 	}
 }

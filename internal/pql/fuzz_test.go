@@ -1,0 +1,86 @@
+package pql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPQLParse throws arbitrary source at the QUEL-subset parser. The
+// contract under fuzzing: Parse never panics and never loops — it
+// returns a query or an error. When it returns a query, printing and
+// re-parsing must agree with the original parse (String is the
+// canonical form the procedural representation stores on disk), except
+// for string constants whose printed form needs escapes the lexer does
+// not understand.
+func FuzzPQLParse(f *testing.F) {
+	f.Add("retrieve (person.all) where person.age >= 60")
+	f.Add(`retrieve (person.name) where person.name = cyclist.name`)
+	f.Add(`retrieve (e.salary, e.dept) where (e.age < 30 or e.age > 65) and not e.dept = "toy"`)
+	f.Add("retrieve(a.b)where a.c!=-12")
+	f.Add("retrieve (x.all) where x.hashkey# = 7")
+	f.Add("retrieve (")
+	f.Add(`retrieve (a.b) where a.c = "unterminated`)
+	f.Add("where where where")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if len(q.Targets) == 0 {
+			t.Fatalf("parse accepted %q with an empty target list", src)
+		}
+		printed := q.String()
+		if !reparseable(q) {
+			return
+		}
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", printed, src, err)
+		}
+		if got := q2.String(); got != printed {
+			t.Fatalf("canonical form is not a fixed point:\n 1st: %s\n 2nd: %s", printed, got)
+		}
+	})
+}
+
+// reparseable reports whether every string constant in q survives
+// strconv.Quote unescaped — the lexer reads raw bytes between quotes,
+// so escaped forms (`\n`, `\"`, …) would re-parse as different text.
+func reparseable(q *Query) bool {
+	ok := true
+	check := func(o Operand) {
+		if !o.Column() && o.IsStr {
+			if strings.ContainsAny(o.Str, "\"\\") || !plainASCII(o.Str) {
+				ok = false
+			}
+		}
+	}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *BinBool:
+			walk(v.L)
+			walk(v.R)
+		case *Not:
+			walk(v.E)
+		case *Compare:
+			check(v.L)
+			check(v.R)
+		}
+	}
+	if q.Where != nil {
+		walk(q.Where)
+	}
+	return ok
+}
+
+func plainASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}

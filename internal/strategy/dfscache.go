@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"corep/internal/disk"
 	"corep/internal/object"
 	"corep/internal/workload"
 )
@@ -79,7 +80,9 @@ func (c dfscache) Retrieve(db *workload.DB, q Query) (*Result, error) {
 		if err := projectUnitValue(db, value, q.AttrIdx, &res.Values); err != nil {
 			return nil, err
 		}
-		if err := db.Cache.Insert(key, value); err != nil {
+		if err := db.Cache.Insert(key, value); err != nil && !disk.IsFault(err) {
+			// A faulted insert only means the unit isn't cached; the rows
+			// are already materialized, so degrade and keep answering.
 			return nil, err
 		}
 	}
@@ -91,15 +94,20 @@ func (c dfscache) Retrieve(db *workload.DB, q Query) (*Result, error) {
 }
 
 func (dfscache) Update(db *workload.DB, op workload.Op) error {
-	if err := db.ApplyUpdateBase(op); err != nil {
-		return err
-	}
+	baseErr := db.ApplyUpdateBase(op)
 	// I-lock invalidation: every cached unit containing an updated
-	// subobject is dropped, paying hash-file deletes.
+	// subobject is dropped, paying hash-file deletes. This runs even
+	// when the base apply failed part-way — some targets may already
+	// hold new values, so every touched unit must leave the cache or a
+	// later lookup would serve the old value.
+	var invErr error
 	for _, oid := range op.Targets {
-		if _, err := db.Cache.Invalidate(oid); err != nil {
-			return err
+		if _, err := db.Cache.Invalidate(oid); err != nil && invErr == nil {
+			invErr = err
 		}
 	}
-	return nil
+	if baseErr != nil {
+		return baseErr
+	}
+	return invErr
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"corep/internal/testutil"
 	"corep/internal/workload"
 )
 
@@ -20,6 +21,7 @@ func buildDB(t *testing.T, cfg workload.Config) *workload.DB {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { testutil.AssertNoLeaks(t, db.Pool) })
 	return db
 }
 

@@ -1,0 +1,32 @@
+// Package testutil holds helpers shared across the repo's test suites.
+package testutil
+
+import (
+	"testing"
+
+	"corep/internal/buffer"
+)
+
+// AssertNoLeaks fails the test when the pool still holds pinned frames
+// or the prefetcher still holds staged (pinned) pages. Every operator
+// and every strategy must return the pool to zero pins when it
+// finishes — a leaked pin wedges eviction for everyone sharing the
+// shard. Call it (usually via defer) after the workload under test has
+// fully completed, and after draining the prefetcher if one is
+// attached.
+func AssertNoLeaks(t testing.TB, pool *buffer.Pool) {
+	t.Helper()
+	if pool == nil {
+		return
+	}
+	if n := pool.PinnedCount(); n != 0 {
+		t.Errorf("buffer pool leaks %d pinned page(s)", n)
+	}
+	pf := pool.Prefetcher()
+	if n := pf.StagedCount(); n != 0 {
+		t.Errorf("prefetcher leaks %d staged page(s)", n)
+	}
+	if n := pf.InflightCount(); n != 0 {
+		t.Errorf("prefetcher still has %d request(s) in flight", n)
+	}
+}

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 
@@ -430,10 +431,16 @@ func (db *DB) buildCluster() error {
 	}
 	db.Assignment = a
 
-	// Invert: parent key → owned subobjects.
+	// Invert: parent key → owned subobjects. Map iteration order is
+	// random, so sort each owner's subobjects: within-cluster row order
+	// decides RID placement in ClusterRel, and an unsorted order made
+	// clustered probe I/O vary run to run under an identical seed.
 	owned := make(map[int64][]object.OID)
 	for oid, p := range a.Owner {
 		owned[p] = append(owned[p], oid)
+	}
+	for _, oids := range owned {
+		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
 	}
 
 	rel, err := db.Cat.CreateBTree("ClusterRel", db.ClusterSchema)
