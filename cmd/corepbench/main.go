@@ -26,6 +26,8 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"corep/internal/harness"
@@ -63,6 +65,14 @@ func run() int {
 		chaos      = flag.Bool("chaos", false, "run the differential chaos-test sweep and exit (nonzero exit on any violation)")
 		chaosSeeds = flag.Int("chaos-seeds", 0, "fault schedules per strategy for -chaos (default 50)")
 		chaosOut   = flag.String("chaos-out", "BENCH_chaos.json", "where -chaos writes its JSON result")
+
+		slo          = flag.Bool("slo", false, "run the tail-latency SLO serving benchmark and exit")
+		sloOut       = flag.String("slo-out", "BENCH_slo.json", "where -slo writes its JSON result")
+		sloTarget    = flag.Float64("slo-target", 0.99, "SLO quantile for -slo (0.99 = p99)")
+		sloThreshold = flag.Duration("slo-threshold", 250*time.Millisecond, "SLO latency threshold for -slo")
+		sloClients   = flag.Int("slo-clients", 8, "concurrent clients for -slo")
+
+		watch = flag.Duration("watch", 0, "periodically dump live metrics to stderr while running (e.g. -watch 2s)")
 	)
 	flag.Parse()
 
@@ -104,6 +114,16 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "profile: %v\n", err)
 			}
 		}()
+	}
+
+	// liveReg is what -watch dumps: serve modes and the experiment loop
+	// publish their current registry here (experiments swap registries,
+	// so the watcher follows the pointer, not one registry).
+	var liveReg atomic.Pointer[obs.Registry]
+	if *watch > 0 {
+		*metrics = true // watching implies collecting
+		stop := startWatch(*watch, &liveReg)
+		defer stop()
 	}
 
 	var sink obs.Sink
@@ -229,6 +249,63 @@ func run() int {
 		return 0
 	}
 
+	if *slo {
+		reg := obs.NewRegistry()
+		liveReg.Store(reg)
+		cfg := harness.ServeConfig{
+			DB:           workload.Config{NumParents: 2000, Seed: *seed, ProbeBatch: true, PoolShards: *shards},
+			Strategy:     strategy.DFS,
+			Clients:      *sloClients,
+			OpsPerClient: 40,
+			PrUpdate:     0.05,
+			NumTop:       8,
+			DiskLatency:  *latency,
+			SLO:          &harness.SLO{Target: *sloTarget, Threshold: *sloThreshold},
+			Metrics:      reg,
+		}
+		if cfg.DiskLatency == 0 {
+			cfg.DiskLatency = 100 * time.Microsecond
+		}
+		fmt.Printf("running SLO benchmark (clients=%d, p%g<=%s, seed=%d)...\n",
+			cfg.Clients, *sloTarget*100, *sloThreshold, *seed)
+		bench, err := harness.RunSLO(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slo: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  %s\n", bench.Result)
+		for _, kind := range []string{"retrieve", "update"} {
+			if s := bench.Result.PerOp[kind]; s.Count > 0 {
+				fmt.Printf("  %-9s %s\n", kind, s)
+			}
+		}
+		for i, q := range bench.SlowQueries {
+			if i >= 5 {
+				fmt.Printf("  ... %d more slow queries in %s\n", len(bench.SlowQueries)-i, *sloOut)
+				break
+			}
+			fmt.Printf("  slow[%d] %-14s client=%d dur=%-12s io=%d over_slo=%v\n",
+				i, q.Name, q.Client, q.Duration, q.IO(), q.OverSLO)
+		}
+		f, err := os.Create(*sloOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slo: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "slo: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *sloOut)
+		if !bench.Result.SLOMet {
+			fmt.Fprintf(os.Stderr, "slo: objective missed (%d ops at or over %s)\n",
+				bench.Result.SLOViolations, *sloThreshold)
+			return 1
+		}
+		return 0
+	}
+
 	if *throughput {
 		var counts []int
 		for _, s := range strings.Split(*clients, ",") {
@@ -250,6 +327,11 @@ func run() int {
 			PrUpdate:     0.05,
 			NumTop:       8,
 			DiskLatency:  *latency,
+		}
+		if *watch > 0 {
+			reg := obs.NewRegistry()
+			liveReg.Store(reg)
+			base.Metrics = reg
 		}
 		fmt.Printf("running throughput benchmark (clients=%v, shards=%d, seed=%d)...\n", counts, *shards, *seed)
 		bench, err := harness.RunThroughput(base, *shards, counts)
@@ -327,6 +409,7 @@ func run() int {
 		// from colliding across experiments.
 		if *metrics {
 			sc.Obs.Metrics = obs.NewRegistry()
+			liveReg.Store(sc.Obs.Metrics)
 		}
 		start := time.Now()
 		fmt.Printf("running %s (%s, scale=%s, seed=%d)...\n", e.Name, e.Paper, *scale, *seed)
@@ -348,4 +431,32 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// startWatch dumps the currently published registry to stderr every
+// interval until the returned stop func is called — live progress for
+// long benchmark runs.
+func startWatch(interval time.Duration, reg *atomic.Pointer[obs.Registry]) func() {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				r := reg.Load()
+				if r == nil {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "--- watch %s ---\n", now.Format("15:04:05"))
+				r.WriteText(os.Stderr)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
 }

@@ -12,7 +12,8 @@
 //
 //	retrieve (...) [where ...]   run a query
 //	\path <group-key>            retrieve (group.members.name) for one group
-//	\stats                       cumulative simulated I/O
+//	\stats                       consolidated per-layer counters (\stats json for raw JSON)
+//	\slow                        the retained slowest queries with attributed I/O
 //	\faults                      fault-injection and retry counters
 //	\metrics                     aggregated metrics report (with -metrics)
 //	\help                        this text
@@ -22,11 +23,14 @@
 // aggregates I/O histograms readable via \metrics, -profile <prefix>
 // writes CPU/heap profiles on exit. The -fault-* flags arm a seeded
 // deterministic fault plan (e.g. -fault-transient 0.01) so retry and
-// degradation behavior can be explored interactively.
+// degradation behavior can be explored interactively. The slow-query
+// log is on by default (-slow-n 16); -slow-threshold marks and counts
+// queries at or over a latency budget.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +48,9 @@ func main() {
 		metrics = flag.Bool("metrics", false, "aggregate metrics (report with \\metrics)")
 		profile = flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof on exit")
 		latency = flag.Duration("latency", 0, "simulated per-page device latency (e.g. 200us)")
+
+		slowN         = flag.Int("slow-n", 16, "slow-query log capacity (0 disables \\slow)")
+		slowThreshold = flag.Duration("slow-threshold", 0, "mark queries at or over this latency as SLO violations in \\slow")
 
 		faultSeed      = flag.Int64("fault-seed", 1, "seed for the deterministic fault plan (with -fault-*)")
 		faultTransient = flag.Float64("fault-transient", 0, "per-transfer probability of a retryable read/write error")
@@ -92,6 +99,9 @@ func main() {
 	if *latency > 0 {
 		db.SetDeviceLatency(*latency)
 	}
+	if *slowN > 0 {
+		db.EnableSlowLog(*slowN, *slowThreshold)
+	}
 	if *faultTransient > 0 || *faultPermanent > 0 || *faultTorn > 0 {
 		db.SetFaultPlan(&corep.FaultConfig{
 			Seed:          *faultSeed,
@@ -106,7 +116,7 @@ func main() {
 	fmt.Println("relations: person(OID,name,age), cyclist(OID,name), group(key,name,members)")
 	fmt.Printf("groups: %s\n", strings.Join(groups, ", "))
 	fmt.Println(`try: retrieve (person.name, person.age) where person.age >= 60`)
-	fmt.Println(`     \path 1    \stats    \help    \quit`)
+	fmt.Println(`     \path 1    \stats    \slow    \help    \quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	interactive := isTerminal()
@@ -124,10 +134,11 @@ func main() {
 		case line == `\quit` || line == `\q`:
 			return
 		case line == `\help`:
-			fmt.Println(`retrieve (...) [where ...] | \path <key> | \stats | \faults | \metrics | \quit`)
-		case line == `\stats`:
-			s := db.Stats()
-			fmt.Printf("simulated I/O: %d reads, %d writes\n", s.Reads, s.Writes)
+			fmt.Println(`retrieve (...) [where ...] | \path <key> | \stats [json] | \slow | \faults | \metrics | \quit`)
+		case line == `\stats` || line == `\stats json`:
+			printSnapshot(db.Snapshot(), strings.HasSuffix(line, "json"))
+		case line == `\slow`:
+			printSlow(db.SlowQueries())
 		case line == `\faults`:
 			fs := db.FaultStats()
 			fmt.Printf("faults: %d injected over %d ops (%d transient, %d permanent hits, %d torn, %d spikes); pool retried %d, recovered %d\n",
@@ -234,4 +245,64 @@ func isTerminal() bool {
 		return false
 	}
 	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// printSnapshot renders the consolidated counters, one layer per line
+// (or raw JSON with \stats json).
+func printSnapshot(snap corep.Snapshot, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Println("error:", err)
+		}
+		return
+	}
+	fmt.Printf("disk:     %d reads, %d writes\n", snap.Disk.Reads, snap.Disk.Writes)
+	fmt.Printf("buffer:   %d hits, %d misses, %d flushes, %d pins\n",
+		snap.Buffer.Hits, snap.Buffer.Misses, snap.Buffer.Flushes, snap.Buffer.Pins)
+	if snap.Cache != nil {
+		fmt.Printf("cache:    %d hits, %d misses, %d inserts, %d evictions, %d invalidations\n",
+			snap.Cache.Hits, snap.Cache.Misses, snap.Cache.Inserts,
+			snap.Cache.Evictions, snap.Cache.Invalidations)
+	}
+	fmt.Printf("prefetch: %d requested, %d staged, %d consumed, %d wasted\n",
+		snap.Prefetch.Requested, snap.Prefetch.Staged, snap.Prefetch.Consumed, snap.Prefetch.Wasted)
+	fmt.Printf("faults:   %d injected over %d ops; pool retried %d, recovered %d\n",
+		snap.Faults.Injected, snap.Faults.Ops, snap.Faults.Retries, snap.Faults.Recovered)
+	if snap.SlowLog.Enabled {
+		fmt.Printf("slow log: %d/%d retained of %d observed",
+			snap.SlowLog.Retained, snap.SlowLog.Capacity, snap.SlowLog.Observed)
+		if snap.SlowLog.Threshold > 0 {
+			fmt.Printf(", %d over %s", snap.SlowLog.Violations, snap.SlowLog.Threshold)
+		}
+		fmt.Println()
+	}
+}
+
+// printSlow lists the retained slow queries, slowest first, with their
+// attributed I/O and span trees.
+func printSlow(slow []corep.SlowQuery) {
+	if len(slow) == 0 {
+		fmt.Println("slow log empty (run some queries, or start with -slow-n > 0)")
+		return
+	}
+	for i, q := range slow {
+		mark := ""
+		if q.OverSLO {
+			mark = "  OVER-SLO"
+		}
+		if q.Err != "" {
+			mark += "  err=" + q.Err
+		}
+		fmt.Printf("[%d] %-12s %12s  io=%d%s\n", i, q.Name, q.Duration, q.TotalIO(), mark)
+		for _, sp := range q.Spans {
+			indent := "      "
+			if sp.Parent != 0 {
+				indent += "  "
+			}
+			fmt.Printf("%s%s: %d reads, %d writes, %d hits, %d misses\n",
+				indent, sp.Name, sp.Reads, sp.Writes, sp.Hits, sp.Misses)
+		}
+	}
 }

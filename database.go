@@ -95,6 +95,11 @@ type Database struct {
 	// obs is the observability context (TraceTo / EnableMetrics); the
 	// zero value collects nothing.
 	obs obs.Ctx
+	// traceSink is TraceTo's sink, kept so slow-query capture can tee
+	// span events to both destinations.
+	traceSink obs.Sink
+	// slow is the slow-query log (EnableSlowLog); nil collects nothing.
+	slow *obs.SlowLog
 }
 
 // NewDatabase creates an in-memory database with the given buffer-pool
@@ -409,7 +414,9 @@ func (r *Relation) Resolve(key int64, attr string) (*Resolved, error) {
 // resolving whichever representation each object stores and projecting
 // targetAttr from every subobject. Procedural subobject rows must carry
 // targetAttr in the stored query's target list.
-func (d *Database) RetrievePath(relName, childrenAttr, targetAttr string, lo, hi int64) ([]Value, error) {
+func (d *Database) RetrievePath(relName, childrenAttr, targetAttr string, lo, hi int64) (vals []Value, err error) {
+	done := d.beginSlow("query.path")
+	defer func() { done(err) }()
 	sp := d.obs.Start("query.path")
 	defer sp.End()
 	before := d.dsk.Stats().Total()
@@ -484,7 +491,9 @@ type QueryResult struct {
 // Query runs a QUEL-like retrieve statement, e.g.
 //
 //	retrieve (person.name, person.age) where person.age >= 60
-func (d *Database) Query(src string) (*QueryResult, error) {
+func (d *Database) Query(src string) (qr *QueryResult, err error) {
+	done := d.beginSlow("query.pql")
+	defer func() { done(err) }()
 	sp := d.obs.Start("query.pql")
 	defer sp.End()
 	before := d.dsk.Stats().Total()

@@ -19,8 +19,10 @@ import (
 func (d *Database) TraceTo(w io.Writer) {
 	if w == nil {
 		d.obs.Trace = nil
+		d.traceSink = nil
 	} else {
-		d.obs.Trace = obs.NewTracer(d.ioSnapshot, obs.NewJSONLSink(w))
+		d.traceSink = obs.NewJSONLSink(w)
+		d.obs.Trace = obs.NewTracer(d.ioSnapshot, d.traceSink)
 	}
 	d.propagateObs()
 }

@@ -7,12 +7,13 @@
 package harness
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"time"
 
+	"corep/internal/bench"
 	"corep/internal/disk"
+	"corep/internal/obs"
 	"corep/internal/strategy"
 	"corep/internal/workload"
 )
@@ -40,6 +41,18 @@ type ChaosConfig struct {
 	// Timeout bounds one schedule; exceeding it is recorded as a
 	// deadlock violation. 0 means 120s.
 	Timeout time.Duration
+
+	// SlowLogSize, when positive, arms per-schedule tail sampling: every
+	// operation is traced (full span tree plus per-op fault-plan deltas)
+	// and the SlowLogSize slowest land in ChaosRun.SlowQueries. A
+	// schedule is single-threaded, so unlike the serve tier the captured
+	// I/O deltas are exact — a latency spike shows up as an entry whose
+	// fault.spikes attribute names the injector. Zero disables capture
+	// entirely (no tracer attached, nothing measured).
+	SlowLogSize int
+	// SlowThreshold marks entries at or over it as SLO violations
+	// (0 = retain-slowest only).
+	SlowThreshold time.Duration
 }
 
 // DefaultChaosConfig is a sweep over all six strategies sized so a
@@ -100,6 +113,10 @@ type ChaosRun struct {
 	CacheOrphans  int64            `json:"cache_orphans"`
 	PrefetchErrs  int64            `json:"prefetch_fetch_errors"`
 	Violations    []ChaosViolation `json:"violations,omitempty"`
+
+	// SlowQueries is the schedule's tail sample (ChaosConfig.SlowLogSize
+	// slowest operations, exact span trees, fault-plan attr deltas).
+	SlowQueries []obs.SlowEntry `json:"slow_queries,omitempty"`
 }
 
 // ChaosStrategy aggregates one strategy's schedules.
@@ -122,11 +139,45 @@ type ChaosBench struct {
 	Violations int                  `json:"violations"`
 }
 
-// WriteJSON writes the bench as indented JSON.
+// Cells flattens the sweep into one envelope cell per strategy.
+// Violations and baseline reads are deterministic (seeded schedules) and
+// gate; clean-error/retry counts legitimately wander with the fault mix
+// and stay informational.
+func (b *ChaosBench) Cells() []bench.Cell {
+	var cells []bench.Cell
+	for _, s := range b.Strategies {
+		var viol, cleanErrs, opsOK int
+		var retries, recovered int64
+		runs := s.Runs
+		if s.Control != nil {
+			runs = append([]*ChaosRun{s.Control}, runs...)
+		}
+		for _, r := range runs {
+			viol += len(r.Violations)
+			cleanErrs += r.CleanErrors
+			opsOK += r.OpsOK
+			retries += r.Retries
+			recovered += r.Recovered
+		}
+		cells = append(cells, bench.Cell{Name: s.Strategy, Metrics: map[string]float64{
+			"violations":     float64(viol),
+			"baseline_reads": float64(s.BaselineReads),
+			"clean_errors":   float64(cleanErrs),
+			"ops_ok":         float64(opsOK),
+			"retries":        float64(retries),
+			"recovered":      float64(recovered),
+		}})
+	}
+	return cells
+}
+
+// WriteJSON writes the bench wrapped in the versioned envelope.
 func (b *ChaosBench) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(b)
+	env, err := bench.New("chaos", b, b.Cells())
+	if err != nil {
+		return err
+	}
+	return env.WriteJSON(w)
 }
 
 // AllViolations flattens every recorded violation.
@@ -309,13 +360,58 @@ func runChaosScheduleBody(spec scheduleSpec) *ChaosRun {
 		db.Disk.SetFault(plan.Fn())
 	}
 
+	// Tail sampling: with a slow log armed every op runs under a
+	// collector-backed tracer (the schedule is single-threaded, so the
+	// swap is safe and the captured deltas exact) and fault-plan stat
+	// deltas ride along as span attributes.
+	var slowLog *obs.SlowLog
+	if spec.cfg.SlowLogSize > 0 {
+		slowLog = obs.NewSlowLog(spec.cfg.SlowLogSize, spec.cfg.SlowThreshold)
+		defer func() { run.SlowQueries = slowLog.Snapshot() }()
+	}
+
 	// diverged flips once an update fails: some targets may hold new
 	// values and some old, so later rows are legitimately unlike the
 	// baseline and comparison stops. Everything else still applies.
 	diverged := false
 	retrieveIdx := 0
 	for i, op := range ops {
+		var col *obs.Collector
+		var faultsBefore disk.FaultStats
+		if slowLog != nil {
+			col = obs.NewCollector()
+			db.AttachObs(obs.Options{Sink: col})
+			if plan != nil {
+				faultsBefore = plan.Stats()
+			}
+		}
+		opStart := time.Now()
 		vals, opErr, panicked := runChaosOp(db, st, op)
+		if slowLog != nil {
+			dur := time.Since(opStart)
+			db.AttachObs(obs.Options{})
+			name := "chaos.retrieve"
+			if op.Kind == workload.OpUpdate {
+				name = "chaos.update"
+			}
+			e := obs.SlowEntry{Name: name, Start: opStart, Duration: dur, Spans: col.Spans()}
+			if plan != nil {
+				fd := plan.Stats()
+				e.Attrs = []obs.Attr{
+					{Key: "fault.injected", Val: fd.Injected - faultsBefore.Injected},
+					{Key: "fault.spikes", Val: fd.Spikes - faultsBefore.Spikes},
+					{Key: "fault.transient", Val: fd.Transient - faultsBefore.Transient},
+					{Key: "fault.permanent_hits", Val: fd.PermanentHits - faultsBefore.PermanentHits},
+				}
+			}
+			if opErr != nil {
+				e.Err = opErr.Error()
+			}
+			if panicked != "" {
+				e.Err = "panic: " + panicked
+			}
+			slowLog.Offer(e)
+		}
 		if panicked != "" {
 			violate(i, "panic", panicked)
 			break

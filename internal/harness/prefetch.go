@@ -2,12 +2,12 @@ package harness
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"time"
 
+	"corep/internal/bench"
 	"corep/internal/buffer"
 	"corep/internal/strategy"
 	"corep/internal/workload"
@@ -50,11 +50,39 @@ type PrefetchBench struct {
 	BestSpeedup float64 `json:"best_speedup"`
 }
 
-// WriteJSON writes the bench as indented JSON.
+// EnvelopeCells flattens the sweep for the versioned envelope. Read
+// counts are deterministic and gate exactly; speedups gate at the
+// threshold; wasted/dropped prefetches are informational (they vary with
+// scheduling).
+func (b *PrefetchBench) EnvelopeCells() []bench.Cell {
+	var cells []bench.Cell
+	for _, c := range b.Cells {
+		rowsFailed := 0.0
+		if !c.RowsMatch {
+			rowsFailed = 1
+		}
+		cells = append(cells, bench.Cell{
+			Name: fmt.Sprintf("lat=%s/depth=%d", c.Latency, c.Depth),
+			Metrics: map[string]float64{
+				"speedup":           c.Speedup,
+				"sync_reads":        float64(c.SyncReads),
+				"prefetch_reads":    float64(c.PrefReads),
+				"rows_match_failed": rowsFailed,
+				"wasted":            float64(c.Prefetch.Wasted),
+				"dropped":           float64(c.Prefetch.Dropped),
+			},
+		})
+	}
+	return cells
+}
+
+// WriteJSON writes the bench wrapped in the versioned envelope.
 func (b *PrefetchBench) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(b)
+	env, err := bench.New("prefetch", b, b.EnvelopeCells())
+	if err != nil {
+		return err
+	}
+	return env.WriteJSON(w)
 }
 
 // DefaultPrefetchSweep returns the standard sweep grid: two device

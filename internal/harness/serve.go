@@ -1,18 +1,69 @@
 package harness
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"corep/internal/bench"
 	"corep/internal/disk"
+	"corep/internal/obs"
 	"corep/internal/strategy"
 	"corep/internal/workload"
 )
+
+// SLO declares the serving latency objective: the Target quantile of
+// per-operation wall-clock latency must stay at or under Threshold.
+// Every operation at or over Threshold counts as one violation
+// regardless of the quantile, so violation counts stay meaningful even
+// when the objective itself is met.
+type SLO struct {
+	Target    float64       `json:"target"` // quantile the objective is stated at, e.g. 0.99
+	Threshold time.Duration `json:"threshold_ns"`
+}
+
+// DefaultSLO is the objective the SLO benchmark runs under when the
+// caller does not supply one: p99 at or under 250ms for the default
+// serving workload (2000 parents, 100µs device latency, 8 clients).
+func DefaultSLO() SLO { return SLO{Target: 0.99, Threshold: 250 * time.Millisecond} }
+
+// LatencySummary is one attribution cell's latency distribution: a
+// client, an operation kind, or the whole run.
+type LatencySummary struct {
+	Count      int           `json:"count"`
+	P50        time.Duration `json:"p50_ns"`
+	P95        time.Duration `json:"p95_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	Max        time.Duration `json:"max_ns"`
+	Violations int           `json:"slo_violations,omitempty"`
+}
+
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d p50=%s p95=%s p99=%s max=%s viol=%d",
+		s.Count, s.P50, s.P95, s.P99, s.Max, s.Violations)
+}
+
+// summarize computes exact percentiles over a copy of lats (the nearest-
+// rank convention the serve tier has always used) plus SLO violations.
+func summarize(lats []time.Duration, slo *SLO) LatencySummary {
+	s := LatencySummary{Count: len(lats)}
+	if len(lats) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) time.Duration { return sorted[int(p*float64(len(sorted)-1))] }
+	s.P50, s.P95, s.P99, s.Max = pct(0.50), pct(0.95), pct(0.99), sorted[len(sorted)-1]
+	if slo != nil && slo.Threshold > 0 {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= slo.Threshold })
+		s.Violations = len(sorted) - i
+	}
+	return s
+}
 
 // ServeConfig configures one concurrent serving run: K client goroutines
 // issuing the paper's retrieve/update mix against a single shared
@@ -43,10 +94,31 @@ type ServeConfig struct {
 	// the measured phase (build and reset run fault-free). Pair it with
 	// IsolateErrors unless a single fault should abort the run.
 	FaultPlan *disk.FaultPlanConfig
+
+	// SLO, when non-nil, is the latency objective: per-cell summaries
+	// count operations at or over Threshold, and the result reports
+	// whether the Target quantile met it.
+	SLO *SLO
+
+	// Metrics, when non-nil, receives per-client and per-operation-kind
+	// latency histograms plus live progress counters, all under
+	// MetricsPrefix — the serving tier's cells in the shared registry.
+	// Nil (the default) collects nothing and costs nothing on the op path.
+	Metrics       *obs.Registry
+	MetricsPrefix string
+
+	// SlowLog, when non-nil, captures a root span (wall clock plus
+	// disk/buffer counter deltas) for every operation and retains the
+	// slowest — tail sampling for the serving tier. Because clients run
+	// concurrently over shared counters, serve-tier deltas are
+	// approximate attribution (see DESIGN.md §10); single-threaded
+	// contexts (chaos harness, object API) capture exact per-op trees.
+	SlowLog *obs.SlowLog
 }
 
 // ServeResult is the outcome of one Serve run: throughput plus
-// wall-clock latency percentiles across every completed operation.
+// wall-clock latency percentiles across every completed operation,
+// decomposed per operation kind and per client.
 type ServeResult struct {
 	Clients   int           `json:"clients"`
 	Shards    int           `json:"pool_shards"`
@@ -57,8 +129,25 @@ type ServeResult struct {
 
 	P50 time.Duration `json:"p50_ns"`
 	P90 time.Duration `json:"p90_ns"`
+	P95 time.Duration `json:"p95_ns"`
 	P99 time.Duration `json:"p99_ns"`
 	Max time.Duration `json:"max_ns"`
+
+	// PerOp decomposes latency by operation kind ("retrieve", "update");
+	// PerClient by client goroutine — the serve tier's SLO cells.
+	PerOp     map[string]LatencySummary `json:"per_op,omitempty"`
+	PerClient []LatencySummary          `json:"per_client,omitempty"`
+
+	// SLO echoes the armed objective; SLOViolations counts operations at
+	// or over its threshold across all cells; SLOMet reports whether the
+	// Target quantile stayed at or under the threshold.
+	SLO           *SLO `json:"slo,omitempty"`
+	SLOViolations int  `json:"slo_violations,omitempty"`
+	SLOMet        bool `json:"slo_met,omitempty"`
+
+	// SlowRetained is how many span-carrying entries the slow log kept
+	// (0 without a slow log).
+	SlowRetained int `json:"slow_retained,omitempty"`
 
 	TotalIO int64 `json:"total_io"`
 
@@ -69,9 +158,47 @@ type ServeResult struct {
 }
 
 func (r *ServeResult) String() string {
-	return fmt.Sprintf("K=%d shards=%d: %.0f qps (%d retr + %d upd in %s; p50=%s p99=%s)",
+	s := fmt.Sprintf("K=%d shards=%d: %.0f qps (%d retr + %d upd in %s; p50=%s p95=%s p99=%s max=%s)",
 		r.Clients, r.Shards, r.QPS, r.Retrieves, r.Updates,
-		r.Elapsed.Round(time.Millisecond), r.P50, r.P99)
+		r.Elapsed.Round(time.Millisecond), r.P50, r.P95, r.P99, r.Max)
+	if r.SLO != nil {
+		s += fmt.Sprintf(" slo[p%g<=%s met=%v viol=%d]", r.SLO.Target*100, r.SLO.Threshold, r.SLOMet, r.SLOViolations)
+	}
+	return s
+}
+
+// Record exports the finished result into reg as metric points (gauges,
+// nanosecond latencies, milli-QPS) so sinks flushing the registry see
+// completed runs, not only the live histograms. Nil-safe on reg.
+func (r *ServeResult) Record(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(prefix + "serve.result.qps_milli").Set(int64(r.QPS * 1000))
+	reg.Gauge(prefix + "serve.result.p50_ns").Set(int64(r.P50))
+	reg.Gauge(prefix + "serve.result.p95_ns").Set(int64(r.P95))
+	reg.Gauge(prefix + "serve.result.p99_ns").Set(int64(r.P99))
+	reg.Gauge(prefix + "serve.result.max_ns").Set(int64(r.Max))
+	reg.Gauge(prefix + "serve.result.total_io").Set(r.TotalIO)
+	reg.Gauge(prefix + "serve.result.failed").Set(int64(r.Failed))
+	reg.Gauge(prefix + "serve.result.slo_violations").Set(int64(r.SLOViolations))
+}
+
+// serveIO snapshots the database's shared disk/pool counters — the
+// source for serve-tier slow-log root spans.
+func serveIO(db *workload.DB) obs.IO {
+	ds := db.Disk.Stats()
+	ps := db.Pool.Stats()
+	return obs.IO{
+		Reads: ds.Reads, Writes: ds.Writes,
+		Hits: ps.Hits, Misses: ps.Misses, Flushes: ps.Flushes,
+	}
+}
+
+// opLat is one completed operation's latency, tagged by kind.
+type opLat struct {
+	kind workload.OpKind
+	d    time.Duration
 }
 
 // Serve builds one database and hammers it with cfg.Clients concurrent
@@ -118,6 +245,16 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		defer db.Disk.SetFault(nil)
 	}
 
+	// SLO instruments: one histogram per operation kind (shared across
+	// clients), one per client, plus live progress counters. All are nil
+	// no-ops when cfg.Metrics is nil, so the disabled op path is free.
+	reg, prefix := cfg.Metrics, cfg.MetricsPrefix
+	hRetr := reg.Histogram(prefix+"serve.op.retrieve.latency_ns", obs.LatencyBuckets)
+	hUpd := reg.Histogram(prefix+"serve.op.update.latency_ns", obs.LatencyBuckets)
+	cRetr := reg.Counter(prefix + "serve.ops.retrieves")
+	cUpd := reg.Counter(prefix + "serve.ops.updates")
+	cFail := reg.Counter(prefix + "serve.ops.failed")
+
 	var (
 		wg        sync.WaitGroup
 		stop      atomic.Bool
@@ -126,7 +263,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		retrieves atomic.Int64
 		updates   atomic.Int64
 		failed    atomic.Int64
-		latencies = make([][]time.Duration, cfg.Clients)
+		latencies = make([][]opLat, cfg.Clients)
 		sampleMu  sync.Mutex
 		samples   []string
 	)
@@ -141,6 +278,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 			return false
 		}
 		failed.Add(1)
+		cFail.Add(1)
 		sampleMu.Lock()
 		if len(samples) < 5 {
 			samples = append(samples, err.Error())
@@ -153,42 +291,72 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			lats := make([]time.Duration, 0, len(chunks[c]))
+			hClient := reg.Histogram(prefix+"serve.client."+strconv.Itoa(c)+".latency_ns", obs.LatencyBuckets)
+			lats := make([]opLat, 0, len(chunks[c]))
 			defer func() { latencies[c] = lats }()
 			for _, op := range chunks[c] {
 				if stop.Load() {
 					return
 				}
+				var ioBefore obs.IO
+				if cfg.SlowLog != nil {
+					ioBefore = serveIO(db)
+				}
 				opStart := time.Now()
+				var opErr error
 				switch op.Kind {
 				case workload.OpRetrieve:
 					db.Latch.RLock()
-					_, err := st.Retrieve(db, strategy.Query{Lo: op.Lo, Hi: op.Hi, AttrIdx: op.AttrIdx})
+					_, opErr = st.Retrieve(db, strategy.Query{Lo: op.Lo, Hi: op.Hi, AttrIdx: op.AttrIdx})
 					db.Latch.RUnlock()
-					if err != nil {
-						err = fmt.Errorf("serve: client %d retrieve [%d,%d]: %w", c, op.Lo, op.Hi, err)
-						if !isolate(err) {
-							fail(err)
-							return
-						}
-						continue
+					if opErr != nil {
+						opErr = fmt.Errorf("serve: client %d retrieve [%d,%d]: %w", c, op.Lo, op.Hi, opErr)
 					}
-					retrieves.Add(1)
 				case workload.OpUpdate:
 					db.Latch.Lock()
-					err := st.Update(db, op)
+					opErr = st.Update(db, op)
 					db.Latch.Unlock()
-					if err != nil {
-						err = fmt.Errorf("serve: client %d update: %w", c, err)
-						if !isolate(err) {
-							fail(err)
-							return
-						}
-						continue
+					if opErr != nil {
+						opErr = fmt.Errorf("serve: client %d update: %w", c, opErr)
 					}
-					updates.Add(1)
 				}
-				lats = append(lats, time.Since(opStart))
+				dur := time.Since(opStart)
+				if cfg.SlowLog != nil {
+					d := serveIO(db).Sub(ioBefore)
+					name := "serve.retrieve"
+					if op.Kind == workload.OpUpdate {
+						name = "serve.update"
+					}
+					e := obs.SlowEntry{
+						Name: name, Client: c, Start: opStart, Duration: dur,
+						Spans: []obs.SpanEvent{{ID: 1, Name: name,
+							Reads: d.Reads, Writes: d.Writes, IO: d.Reads + d.Writes,
+							Hits: d.Hits, Misses: d.Misses, Flushes: d.Flushes}},
+					}
+					if opErr != nil {
+						e.Err = opErr.Error()
+					}
+					cfg.SlowLog.Offer(e)
+				}
+				if opErr != nil {
+					if !isolate(opErr) {
+						fail(opErr)
+						return
+					}
+					continue
+				}
+				switch op.Kind {
+				case workload.OpRetrieve:
+					retrieves.Add(1)
+					cRetr.Add(1)
+					hRetr.Observe(float64(dur))
+				case workload.OpUpdate:
+					updates.Add(1)
+					cUpd.Add(1)
+					hUpd.Observe(float64(dur))
+				}
+				hClient.Observe(float64(dur))
+				lats = append(lats, opLat{kind: op.Kind, d: dur})
 			}
 		}(c)
 	}
@@ -199,16 +367,28 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	}
 
 	var all []time.Duration
-	for _, l := range latencies {
-		all = append(all, l...)
+	var retrLats, updLats []time.Duration
+	perClient := make([]LatencySummary, cfg.Clients)
+	for c, l := range latencies {
+		cl := make([]time.Duration, 0, len(l))
+		for _, ol := range l {
+			all = append(all, ol.d)
+			cl = append(cl, ol.d)
+			if ol.kind == workload.OpUpdate {
+				updLats = append(updLats, ol.d)
+			} else {
+				retrLats = append(retrLats, ol.d)
+			}
+		}
+		perClient[c] = summarize(cl, cfg.SLO)
 	}
+	total := summarize(all, cfg.SLO)
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	pct := func(p float64) time.Duration {
 		if len(all) == 0 {
 			return 0
 		}
-		i := int(p * float64(len(all)-1))
-		return all[i]
+		return all[int(p*float64(len(all)-1))]
 	}
 	res := &ServeResult{
 		Clients:   cfg.Clients,
@@ -218,8 +398,14 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		Elapsed:   elapsed,
 		P50:       pct(0.50),
 		P90:       pct(0.90),
+		P95:       pct(0.95),
 		P99:       pct(0.99),
 		Max:       pct(1.0),
+		PerOp: map[string]LatencySummary{
+			"retrieve": summarize(retrLats, cfg.SLO),
+			"update":   summarize(updLats, cfg.SLO),
+		},
+		PerClient: perClient,
 		TotalIO:   db.Disk.Stats().Total(),
 		Failed:    int(failed.Load()),
 	}
@@ -227,6 +413,14 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if elapsed > 0 {
 		res.QPS = float64(res.Retrieves+res.Updates) / elapsed.Seconds()
 	}
+	if cfg.SLO != nil {
+		slo := *cfg.SLO
+		res.SLO = &slo
+		res.SLOViolations = total.Violations
+		res.SLOMet = len(all) > 0 && pct(slo.Target) <= slo.Threshold
+	}
+	res.SlowRetained = cfg.SlowLog.Stats().Retained
+	res.Record(reg, prefix)
 	return res, nil
 }
 
@@ -243,7 +437,9 @@ type ThroughputBench struct {
 
 // RunThroughput sweeps clientCounts with the given base configuration,
 // running each point once with shards lock stripes and once with the
-// single-shard baseline, and reports QPS speedups.
+// single-shard baseline, and reports QPS speedups. base.Metrics, when
+// set, collects each point's latency histograms under a
+// "<mode>.k<K>." prefix.
 func RunThroughput(base ServeConfig, shards int, clientCounts []int) (*ThroughputBench, error) {
 	if shards < 2 {
 		shards = 8
@@ -263,11 +459,13 @@ func RunThroughput(base ServeConfig, shards int, clientCounts []int) (*Throughpu
 		cfg := base
 		cfg.Clients = k
 		cfg.DB.PoolShards = shards
+		cfg.MetricsPrefix = base.MetricsPrefix + fmt.Sprintf("sharded.k%d.", k)
 		sharded, err := Serve(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("harness: throughput K=%d sharded: %w", k, err)
 		}
 		cfg.DB.PoolShards = 1
+		cfg.MetricsPrefix = base.MetricsPrefix + fmt.Sprintf("baseline.k%d.", k)
 		baseline, err := Serve(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("harness: throughput K=%d baseline: %w", k, err)
@@ -281,9 +479,110 @@ func RunThroughput(base ServeConfig, shards int, clientCounts []int) (*Throughpu
 	return bench, nil
 }
 
-// WriteJSON writes the bench as indented JSON.
+// serveCell flattens one result into an envelope cell. Wall-clock
+// percentiles and QPS gate regressions; max is informational (too noisy
+// to gate); total_io is deterministic and gates exactly.
+func serveCell(name string, r *ServeResult) bench.Cell {
+	return bench.Cell{Name: name, Metrics: map[string]float64{
+		"qps":      r.QPS,
+		"p50_ns":   float64(r.P50),
+		"p95_ns":   float64(r.P95),
+		"p99_ns":   float64(r.P99),
+		"max":      float64(r.Max),
+		"total_io": float64(r.TotalIO),
+		"failed":   float64(r.Failed),
+	}}
+}
+
+// Cells flattens the sweep for the versioned envelope.
+func (b *ThroughputBench) Cells() []bench.Cell {
+	var cells []bench.Cell
+	for _, r := range b.Sharded {
+		cells = append(cells, serveCell(fmt.Sprintf("sharded/K=%d", r.Clients), r))
+	}
+	for _, r := range b.Baseline {
+		cells = append(cells, serveCell(fmt.Sprintf("baseline/K=%d", r.Clients), r))
+	}
+	return cells
+}
+
+// WriteJSON writes the bench wrapped in the versioned envelope.
 func (b *ThroughputBench) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(b)
+	env, err := bench.New("throughput", b, b.Cells())
+	if err != nil {
+		return err
+	}
+	return env.WriteJSON(w)
+}
+
+// SLOBench is the tail-latency serving benchmark (BENCH_slo.json): one
+// Serve run with an SLO armed and the slow log capturing span-attributed
+// outliers, reported as per-op-kind and per-client percentile cells.
+type SLOBench struct {
+	Config      string          `json:"config"`
+	Strategy    string          `json:"strategy"`
+	SLO         SLO             `json:"slo"`
+	Result      *ServeResult    `json:"result"`
+	SlowQueries []obs.SlowEntry `json:"slow_queries,omitempty"`
+}
+
+// RunSLO runs one SLO-instrumented serve: metrics registry and slow log
+// armed (cfg.Metrics/cfg.SlowLog are created when nil), DefaultSLO when
+// none is set.
+func RunSLO(cfg ServeConfig) (*SLOBench, error) {
+	if cfg.SLO == nil {
+		slo := DefaultSLO()
+		cfg.SLO = &slo
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.SlowLog == nil {
+		cfg.SlowLog = obs.NewSlowLog(obs.DefaultSlowLogSize, cfg.SLO.Threshold)
+	}
+	res, err := Serve(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SLOBench{
+		Config:      cfg.DB.WithDefaults().String(),
+		Strategy:    cfg.Strategy.String(),
+		SLO:         *cfg.SLO,
+		Result:      res,
+		SlowQueries: cfg.SlowLog.Snapshot(),
+	}, nil
+}
+
+// Cells flattens the run: one total cell plus one per operation kind.
+func (b *SLOBench) Cells() []bench.Cell {
+	cells := []bench.Cell{serveCell("total", b.Result)}
+	cells[0].Metrics["slo_violations"] = float64(b.Result.SLOViolations)
+	if b.Result.SLOMet {
+		cells[0].Metrics["slo_met"] = 1
+	} else {
+		cells[0].Metrics["slo_met"] = 0
+	}
+	for _, kind := range []string{"retrieve", "update"} {
+		s := b.Result.PerOp[kind]
+		if s.Count == 0 {
+			continue
+		}
+		cells = append(cells, bench.Cell{Name: "op/" + kind, Metrics: map[string]float64{
+			"p50_ns": float64(s.P50),
+			"p95_ns": float64(s.P95),
+			"p99_ns": float64(s.P99),
+			"max":    float64(s.Max),
+			"count":  float64(s.Count),
+		}})
+	}
+	return cells
+}
+
+// WriteJSON writes the bench wrapped in the versioned envelope.
+func (b *SLOBench) WriteJSON(w io.Writer) error {
+	env, err := bench.New("slo", b, b.Cells())
+	if err != nil {
+		return err
+	}
+	return env.WriteJSON(w)
 }

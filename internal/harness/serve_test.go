@@ -1,11 +1,15 @@
 package harness
 
 import (
+	"bytes"
+	"encoding/json"
 	"sync"
 	"testing"
 	"time"
 
+	"corep/internal/bench"
 	"corep/internal/disk"
+	"corep/internal/obs"
 	"corep/internal/strategy"
 	"corep/internal/testutil"
 	"corep/internal/workload"
@@ -271,5 +275,225 @@ func TestServeIsolatesFaultedQueries(t *testing.T) {
 	cfg.IsolateErrors = false
 	if _, err := Serve(cfg); !disk.IsFault(err) {
 		t.Fatalf("fail-fast serve returned %v, want attributed fault", err)
+	}
+}
+
+// TestServeSLOAndHistograms arms every new serving instrument at once —
+// SLO accounting, per-op/per-client histograms, slow-log tail sampling —
+// and checks each cell is populated and internally consistent.
+func TestServeSLOAndHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	slo := SLO{Target: 0.99, Threshold: time.Nanosecond} // everything violates
+	sl := obs.NewSlowLog(8, slo.Threshold)
+	res, err := Serve(ServeConfig{
+		DB:           workload.Config{NumParents: 300, Seed: 3, ProbeBatch: true, PoolShards: 4},
+		Strategy:     strategy.DFS,
+		Clients:      4,
+		OpsPerClient: 6,
+		PrUpdate:     0.2,
+		NumTop:       5,
+		SLO:          &slo,
+		Metrics:      reg,
+		SlowLog:      sl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Retrieves + res.Updates
+	if res.SLO == nil || *res.SLO != slo {
+		t.Fatalf("SLO not echoed: %+v", res.SLO)
+	}
+	if res.SLOViolations != total {
+		t.Fatalf("violations = %d, want every op (%d) at 1ns threshold", res.SLOViolations, total)
+	}
+	if res.SLOMet {
+		t.Fatal("SLO reported met at 1ns threshold")
+	}
+	if res.P95 < res.P50 || res.P95 > res.P99 {
+		t.Fatalf("p95 out of order: p50=%s p95=%s p99=%s", res.P50, res.P95, res.P99)
+	}
+
+	// Per-op cells: counts must partition the total.
+	retr, upd := res.PerOp["retrieve"], res.PerOp["update"]
+	if retr.Count != res.Retrieves || upd.Count != res.Updates {
+		t.Fatalf("per-op counts %d/%d, want %d/%d", retr.Count, upd.Count, res.Retrieves, res.Updates)
+	}
+	if retr.Violations+upd.Violations != total {
+		t.Fatalf("per-op violations don't partition: %d + %d != %d", retr.Violations, upd.Violations, total)
+	}
+	// Per-client cells: one per client, counts summing to the total.
+	if len(res.PerClient) != 4 {
+		t.Fatalf("per-client cells = %d", len(res.PerClient))
+	}
+	sum := 0
+	for _, c := range res.PerClient {
+		sum += c.Count
+	}
+	if sum != total {
+		t.Fatalf("per-client counts sum %d, want %d", sum, total)
+	}
+
+	// Registry histograms: the per-op histograms must have observed every
+	// successful op, and quantiles must be sane.
+	hr := reg.Histogram("serve.op.retrieve.latency_ns", nil).Snapshot()
+	if hr.Count != int64(res.Retrieves) {
+		t.Fatalf("retrieve histogram count %d, want %d", hr.Count, res.Retrieves)
+	}
+	if q := hr.Quantile(0.5); q < hr.Min || q > hr.Max {
+		t.Fatalf("histogram p50 %v outside [%v, %v]", q, hr.Min, hr.Max)
+	}
+	if hu := reg.Histogram("serve.op.update.latency_ns", nil).Snapshot(); hu.Count != int64(res.Updates) {
+		t.Fatal("update histogram incomplete")
+	}
+	// Progress counters for live -watch.
+	pts := map[string]int64{}
+	for _, p := range reg.Points() {
+		pts[p.Name] = p.Value
+	}
+	if pts["serve.ops.retrieves"] != int64(res.Retrieves) || pts["serve.ops.updates"] != int64(res.Updates) {
+		t.Fatalf("progress counters %d/%d, want %d/%d",
+			pts["serve.ops.retrieves"], pts["serve.ops.updates"], res.Retrieves, res.Updates)
+	}
+	// Result export (satellite: sinks see finished runs).
+	if pts["serve.result.p99_ns"] != int64(res.P99) || pts["serve.result.slo_violations"] != int64(total) {
+		t.Fatal("ServeResult.Record did not export the finished run")
+	}
+
+	// Slow log: every op violated, so the ring must be full with the
+	// slowest ops, each carrying a root span with I/O attribution.
+	st := sl.Stats()
+	if st.Retained != 8 || res.SlowRetained != 8 {
+		t.Fatalf("slow log retained %d/%d, want full ring", st.Retained, res.SlowRetained)
+	}
+	if st.Observed != int64(total) || st.Violations != int64(total) {
+		t.Fatalf("slow log observed=%d violations=%d, want %d", st.Observed, st.Violations, total)
+	}
+	entries := sl.Snapshot()
+	var sawIO bool
+	for _, e := range entries {
+		if len(e.Spans) != 1 || !e.OverSLO {
+			t.Fatalf("malformed slow entry: %+v", e)
+		}
+		if e.IO() > 0 {
+			sawIO = true
+		}
+	}
+	if !sawIO {
+		t.Fatal("no slow entry attributed any disk reads")
+	}
+	// Retained entries are the slowest observed: none retained may be
+	// faster than the run's own p50 floor of what was dropped... at
+	// minimum they must be sorted slowest-first.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Duration > entries[i-1].Duration {
+			t.Fatal("slow log snapshot not sorted slowest-first")
+		}
+	}
+}
+
+// TestServeDisabledPathUnchanged: with no registry/slow-log/SLO armed the
+// result must carry no observability residue, and the serve I/O must be
+// identical to an armed run — instrumentation must not change behaviour.
+func TestServeDisabledPathUnchanged(t *testing.T) {
+	cfg := ServeConfig{
+		DB:           workload.Config{NumParents: 300, Seed: 9, ProbeBatch: true, PoolShards: 4},
+		Strategy:     strategy.DFS,
+		Clients:      1, // single client: deterministic I/O either way
+		OpsPerClient: 8,
+		NumTop:       4,
+	}
+	plain, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.SLO != nil || plain.SLOViolations != 0 || plain.SlowRetained != 0 {
+		t.Fatalf("disabled run carries SLO residue: %+v", plain)
+	}
+	slo := DefaultSLO()
+	cfg.SLO = &slo
+	cfg.Metrics = obs.NewRegistry()
+	cfg.SlowLog = obs.NewSlowLog(4, 0)
+	armed, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed.TotalIO != plain.TotalIO {
+		t.Fatalf("instrumentation changed I/O: %d vs %d", armed.TotalIO, plain.TotalIO)
+	}
+}
+
+// TestRunSLOBench exercises the BENCH_slo.json producer end to end:
+// envelope kind, cells, and captured slow queries.
+func TestRunSLOBench(t *testing.T) {
+	b, err := RunSLO(ServeConfig{
+		DB:           workload.Config{NumParents: 300, Seed: 5, ProbeBatch: true, PoolShards: 4},
+		Strategy:     strategy.DFSCACHE,
+		Clients:      4,
+		OpsPerClient: 5,
+		PrUpdate:     0.2,
+		NumTop:       4,
+		SLO:          &SLO{Target: 0.99, Threshold: time.Nanosecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Result == nil || len(b.SlowQueries) == 0 {
+		t.Fatalf("SLO bench missing result or slow queries: %+v", b)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	env, err := bench.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != "slo" {
+		t.Fatalf("kind = %q", env.Kind)
+	}
+	tc := env.Cell("total")
+	if tc == nil || tc.Metrics["qps"] <= 0 {
+		t.Fatalf("total cell missing or empty: %+v", env.Cells)
+	}
+	if tc.Metrics["slo_met"] != 0 {
+		t.Fatal("1ns SLO reported met")
+	}
+	if env.Cell("op/retrieve") == nil {
+		t.Fatal("retrieve op cell missing")
+	}
+}
+
+// TestThroughputEnvelope: the throughput artifact must now be a
+// versioned envelope with per-(mode, K) cells.
+func TestThroughputEnvelope(t *testing.T) {
+	base := ServeConfig{
+		DB:           workload.Config{NumParents: 300, Seed: 1, ProbeBatch: true},
+		Strategy:     strategy.DFS,
+		OpsPerClient: 4,
+		NumTop:       3,
+		DiskLatency:  time.Microsecond,
+	}
+	b, err := RunThroughput(base, 4, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	env, err := bench.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != "throughput" || env.Cell("sharded/K=2") == nil || env.Cell("baseline/K=2") == nil {
+		t.Fatalf("envelope cells wrong: %+v", env.Cells)
+	}
+	// Payload must still decode as the native bench for human readers.
+	var native ThroughputBench
+	if err := json.Unmarshal(env.Payload, &native); err != nil {
+		t.Fatal(err)
+	}
+	if len(native.Sharded) != 1 {
+		t.Fatalf("payload lost native results: %+v", native)
 	}
 }

@@ -25,6 +25,21 @@ func BenchmarkDisabledMetrics(b *testing.B) {
 	}
 }
 
+// BenchmarkDisabledSlowLog measures the tail-sampling hook cost when the
+// slow log is off — the guard every serve/chaos/query hot path pays.
+// Must be 0 allocs/op.
+func BenchmarkDisabledSlowLog(b *testing.B) {
+	var sl *SlowLog
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sl.Enabled() {
+			b.Fatal("nil slow log enabled")
+		}
+		sl.Offer(SlowEntry{})
+		_ = sl.Threshold()
+	}
+}
+
 // BenchmarkEnabledSpan is the reference point for the enabled path
 // (collector sink, live source).
 func BenchmarkEnabledSpan(b *testing.B) {

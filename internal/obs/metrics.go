@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -198,6 +199,58 @@ func (s HistSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts
+// by linear interpolation inside the covering bucket, clamped to the
+// exact observed [Min, Max]. With exponential latency buckets the
+// estimate is within one bucket ratio of the true value — the standard
+// histogram-quantile trade-off.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	lo := s.Min
+	for i, b := range s.Bounds {
+		c := s.Counts[i]
+		if c > 0 && float64(cum+c) >= rank {
+			hi := b
+			if hi > s.Max {
+				hi = s.Max
+			}
+			if hi < lo {
+				return hi
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+		if b > lo {
+			lo = b
+		}
+	}
+	// Overflow bucket: observations above every bound, capped at Max.
+	if s.Overflow > 0 {
+		if lo > s.Max {
+			return s.Max
+		}
+		frac := (rank - float64(cum)) / float64(s.Overflow)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (s.Max-lo)*frac
+	}
+	return s.Max
+}
+
 // ExpBuckets returns n exponentially growing upper bounds
 // start, start*factor, start*factor², …
 func ExpBuckets(start, factor float64, n int) []float64 {
@@ -217,6 +270,10 @@ var (
 	// CountBuckets covers small cardinalities (invalidation fan-out,
 	// temp sizes) from 1 to ~256k.
 	CountBuckets = ExpBuckets(1, 4, 10)
+	// LatencyBuckets covers operation wall-clock in nanoseconds, from
+	// 1µs to ~45s with √2 resolution — tight enough that interpolated
+	// p99s stay within ~±20% of the exact value.
+	LatencyBuckets = ExpBuckets(1e3, math.Sqrt2, 51)
 )
 
 // MetricPoint is one exported metric value: the unit metrics travel in
@@ -306,8 +363,13 @@ func (r *Registry) Flush(s Sink) {
 }
 
 // WriteText renders a human-readable report: one line per counter and
-// gauge, one block per histogram with non-empty buckets only.
+// gauge, one block per histogram with non-empty buckets only. Nil-safe:
+// the disabled registry writes nothing, so facades can report
+// unconditionally.
 func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
 	for _, p := range r.Points() {
 		switch p.Kind {
 		case "counter", "gauge":

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogRetainsSlowest(t *testing.T) {
+	l := NewSlowLog(3, 0)
+	for i := 1; i <= 10; i++ {
+		l.Offer(SlowEntry{Name: "op", Duration: time.Duration(i) * time.Millisecond})
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(snap))
+	}
+	for i, want := range []time.Duration{10, 9, 8} {
+		if snap[i].Duration != want*time.Millisecond {
+			t.Fatalf("entry %d duration = %s, want %s (snapshot must be slowest-first)", i, snap[i].Duration, want*time.Millisecond)
+		}
+	}
+	st := l.Stats()
+	if st.Observed != 10 || st.Retained != 3 || st.Dropped != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSlowLogThresholdViolations(t *testing.T) {
+	l := NewSlowLog(8, 5*time.Millisecond)
+	for i := 1; i <= 10; i++ {
+		l.Offer(SlowEntry{Duration: time.Duration(i) * time.Millisecond})
+	}
+	st := l.Stats()
+	if st.Violations != 6 { // 5ms..10ms inclusive
+		t.Fatalf("violations = %d, want 6", st.Violations)
+	}
+	over := 0
+	for _, e := range l.Snapshot() {
+		if e.OverSLO {
+			over++
+		}
+	}
+	if over != 6 {
+		t.Fatalf("OverSLO entries = %d, want 6", over)
+	}
+}
+
+func TestSlowLogNilIsNoOp(t *testing.T) {
+	var l *SlowLog
+	if l.Enabled() {
+		t.Fatal("nil log reports enabled")
+	}
+	if l.Offer(SlowEntry{Duration: time.Second}) {
+		t.Fatal("nil log retained an entry")
+	}
+	if l.Snapshot() != nil {
+		t.Fatal("nil log snapshot non-nil")
+	}
+	if l.Stats() != (SlowLogStats{}) {
+		t.Fatal("nil log stats non-zero")
+	}
+	l.Reset()
+}
+
+func TestSlowLogConcurrentOffer(t *testing.T) {
+	l := NewSlowLog(16, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Offer(SlowEntry{Client: g, Duration: time.Duration(i) * time.Microsecond})
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Observed != 8*200 {
+		t.Fatalf("observed = %d, want %d", st.Observed, 8*200)
+	}
+	if st.Retained != 16 {
+		t.Fatalf("retained = %d, want capacity 16", st.Retained)
+	}
+	snap := l.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Duration > snap[i-1].Duration {
+			t.Fatal("snapshot not sorted slowest-first")
+		}
+	}
+}
+
+func TestSlowEntryIOAndAttr(t *testing.T) {
+	e := SlowEntry{
+		Spans: []SpanEvent{
+			{ID: 1, Parent: 0, IO: 10},
+			{ID: 2, Parent: 1, IO: 7}, // child: already counted in the root
+			{ID: 3, Parent: 0, IO: 5},
+		},
+		Attrs: []Attr{{Key: "fault.spikes", Val: 3}},
+	}
+	if got := e.IO(); got != 15 {
+		t.Fatalf("entry IO = %d, want 15 (roots only)", got)
+	}
+	if v, ok := e.Attr("fault.spikes"); !ok || v != 3 {
+		t.Fatalf("Attr = %d,%v", v, ok)
+	}
+	if _, ok := e.Attr("missing"); ok {
+		t.Fatal("missing attr reported present")
+	}
+}
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 12))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %g, want min 1", got)
+	}
+	if got := s.Quantile(1); got != 1000 {
+		t.Fatalf("q1 = %g, want max 1000", got)
+	}
+	// Uniform 1..1000: the true p50 is 500, p99 is 990. Exponential
+	// buckets bound the estimate within one bucket ratio (2x).
+	for _, tc := range []struct {
+		q, want float64
+	}{{0.50, 500}, {0.95, 950}, {0.99, 990}} {
+		got := s.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("q%.2f = %g, want within 2x of %g", tc.q, got, tc.want)
+		}
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot quantile != 0")
+	}
+}
+
+func TestHistSnapshotQuantileOverflow(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	for _, v := range []float64{5, 100, 200, 300} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got < 10 || got > 300 {
+		t.Fatalf("overflow quantile = %g, want within (10, 300]", got)
+	}
+	if got := s.Quantile(1); got != 300 {
+		t.Fatalf("q1 = %g, want 300", got)
+	}
+}
