@@ -12,6 +12,7 @@
 //	corepbench -exp fig3 -trace         # + JSON-lines span stream on stderr
 //	corepbench -exp fig3 -profile out   # + out.cpu.pprof / out.heap.pprof
 //	corepbench -chaos -chaos-seeds 50   # differential chaos sweep, writes BENCH_chaos.json
+//	corepbench -txn                     # versioned-vs-latched contention sweep, writes BENCH_txn.json
 //
 // Paper scale uses the paper's environment (10,000 parents, sequences
 // of up to 1000 queries); quick scale shrinks both so the full suite
@@ -62,9 +63,18 @@ func run() int {
 		prefetch    = flag.Bool("prefetch", false, "run the prefetch latency×depth sweep and exit (nonzero exit on any read-count or row regression)")
 		prefetchOut = flag.String("prefetch-out", "BENCH_prefetch.json", "where -prefetch writes its JSON result")
 
-		chaos      = flag.Bool("chaos", false, "run the differential chaos-test sweep and exit (nonzero exit on any violation)")
-		chaosSeeds = flag.Int("chaos-seeds", 0, "fault schedules per strategy for -chaos (default 50)")
-		chaosOut   = flag.String("chaos-out", "BENCH_chaos.json", "where -chaos writes its JSON result")
+		chaos         = flag.Bool("chaos", false, "run the differential chaos-test sweep and exit (nonzero exit on any violation)")
+		chaosSeeds    = flag.Int("chaos-seeds", 0, "fault schedules per strategy for -chaos (default 50)")
+		chaosOut      = flag.String("chaos-out", "BENCH_chaos.json", "where -chaos writes its JSON result")
+		chaosUpdaters = flag.Int("chaos-updaters", 0, "with -chaos: also hammer the versioned store with this many concurrent updaters (torn/lost-version audit)")
+
+		txnMode     = flag.Bool("txn", false, "run the versioned-vs-latched write-contention sweep and exit, writes BENCH_txn.json")
+		txnOut      = flag.String("txn-out", "BENCH_txn.json", "where -txn writes its JSON result")
+		txnStrategy = flag.String("txn-strategy", "DFSCACHE", "strategy for -txn")
+		txnThetas   = flag.String("txn-thetas", "0,0.9", "zipf skew values for -txn, comma-separated")
+		txnUpdates  = flag.String("txn-updates", "0,0.3,0.6", "update-mix probabilities for -txn, comma-separated")
+		txnClients  = flag.String("txn-clients", "1,2,4,8", "client counts for -txn, comma-separated")
+		txnOps      = flag.Int("txn-ops", 0, "operations per client for -txn (default 40)")
 
 		slo          = flag.Bool("slo", false, "run the tail-latency SLO serving benchmark and exit")
 		sloOut       = flag.String("slo-out", "BENCH_slo.json", "where -slo writes its JSON result")
@@ -243,9 +253,86 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("wrote %s\n", *chaosOut)
+		if *chaosUpdaters > 0 {
+			cfg.ConcurrentUpdaters = *chaosUpdaters
+			fmt.Printf("running txn atomicity hammer (%d updaters × %d rounds)...\n", *chaosUpdaters, cfg.Ops)
+			for _, kind := range []strategy.Kind{strategy.DFS, strategy.DFSCACHE} {
+				tv, err := harness.RunTxnChaos(cfg, kind)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "chaos: txn hammer %s: %v\n", kind, err)
+					return 1
+				}
+				for _, v := range tv {
+					fmt.Fprintf(os.Stderr, "chaos: VIOLATION %s\n", v)
+				}
+				fmt.Printf("  %-16s %d violation(s)\n", kind, len(tv))
+				viol = append(viol, tv...)
+			}
+		}
 		if len(viol) > 0 {
 			return 1
 		}
+		return 0
+	}
+
+	if *txnMode {
+		kind, ok := kindByName(*txnStrategy)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown -txn-strategy %q\n", *txnStrategy)
+			return 2
+		}
+		thetas, err := parseFloats(*txnThetas)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -txn-thetas: %v\n", err)
+			return 2
+		}
+		updates, err := parseFloats(*txnUpdates)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -txn-updates: %v\n", err)
+			return 2
+		}
+		counts, err := parseInts(*txnClients)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -txn-clients: %v\n", err)
+			return 2
+		}
+		cfg := harness.DefaultTxnSweep()
+		cfg.Base.Strategy = kind
+		cfg.Base.DB.Seed = *seed
+		cfg.Thetas, cfg.Updates, cfg.Clients = thetas, updates, counts
+		if *txnOps > 0 {
+			cfg.Base.OpsPerClient = *txnOps
+		}
+		if *latency > 0 {
+			cfg.Base.DiskLatency = *latency
+		}
+		fmt.Printf("running txn contention sweep (%s, thetas=%v, updates=%v, clients=%v, ops=%d, seed=%d)...\n",
+			kind, cfg.Thetas, cfg.Updates, cfg.Clients, cfg.Base.OpsPerClient, *seed)
+		bench, err := harness.RunTxnSweep(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "txn: %v\n", err)
+			return 1
+		}
+		for _, pt := range bench.Points {
+			ratio := 0.0
+			if pt.Latched.QPS > 0 {
+				ratio = pt.Versioned.QPS / pt.Latched.QPS
+			}
+			fmt.Printf("  z=%-4g u=%-4g K=%-2d versioned=%-7.0f latched=%-7.0f qps (%.2fx) retr=%-7.0f upd=%-6.0f waits=%d\n",
+				pt.Theta, pt.PrUpdate, pt.Clients, pt.Versioned.QPS, pt.Latched.QPS, ratio,
+				pt.Versioned.RetrieveQPS, pt.Versioned.UpdateQPS, pt.Versioned.Txn.Waited)
+		}
+		f, err := os.Create(*txnOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "txn: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "txn: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *txnOut)
 		return 0
 	}
 
@@ -431,6 +518,48 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// kindByName resolves a strategy name as printed by Kind.String.
+func kindByName(name string) (strategy.Kind, bool) {
+	for _, k := range strategy.AllKindsWithAblations {
+		if strings.EqualFold(k.String(), name) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // startWatch dumps the currently published registry to stderr every

@@ -90,6 +90,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Versioned serving over the outside cache: \path reads pin a
+	// snapshot epoch and check cached units against per-OID commit
+	// watermarks, so \stats shows the cache and txn counters (commits,
+	// snapshot reads, latch waits) as queries run.
+	db.EnableCache(64)
+	db.EnableVersionedServing()
 	if *trace {
 		db.TraceTo(os.Stderr)
 	}
@@ -152,7 +158,7 @@ func main() {
 				fmt.Println("usage: \\path <group-key>")
 				continue
 			}
-			vals, err := db.RetrievePath("group", "members", "name", key, key)
+			vals, err := db.RetrievePathCached("group", "members", "name", key, key)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -268,6 +274,11 @@ func printSnapshot(snap corep.Snapshot, asJSON bool) {
 	}
 	fmt.Printf("prefetch: %d requested, %d staged, %d consumed, %d wasted\n",
 		snap.Prefetch.Requested, snap.Prefetch.Staged, snap.Prefetch.Consumed, snap.Prefetch.Wasted)
+	if snap.Txn != nil {
+		fmt.Printf("txn:      epoch %d, %d commits (%d versions), %d aborts, %d snapshot reads, %d latch waits\n",
+			snap.Txn.Published, snap.Txn.Commits, snap.Txn.Installed,
+			snap.Txn.Aborts, snap.Txn.Snapshots, snap.Txn.Waited)
+	}
 	fmt.Printf("faults:   %d injected over %d ops; pool retried %d, recovered %d\n",
 		snap.Faults.Injected, snap.Faults.Ops, snap.Faults.Retries, snap.Faults.Recovered)
 	if snap.SlowLog.Enabled {

@@ -14,6 +14,7 @@ import (
 	"corep/internal/obs"
 	"corep/internal/pql"
 	"corep/internal/tuple"
+	"corep/internal/txn"
 )
 
 // This file is the object API: a small complex-object database for user
@@ -91,6 +92,10 @@ type Database struct {
 
 	// faults is the installed fault plan, if any (SetFaultPlan).
 	faults *disk.FaultPlan
+
+	// txn is the epoch version store (EnableVersionedServing); nil keeps
+	// the historic unversioned cache protocol.
+	txn *txn.Store
 
 	// obs is the observability context (TraceTo / EnableMetrics); the
 	// zero value collects nothing.
@@ -251,15 +256,20 @@ func (r *Relation) InsertWith(row Row, children map[string]Children) (OID, error
 	if err != nil {
 		return 0, err
 	}
+	// A new tuple may satisfy stored procedural predicates over this
+	// relation; the relation-level lock invalidates those results. Under
+	// versioned serving the invalidation commits through the version
+	// store so snapshot readers see the watermark before the new epoch.
+	locks := []object.OID{relLockOID(r.rel.ID)}
+	u := r.db.beginTxnUpdate(locks)
 	if err := r.rel.Tree.Insert(key, rec); err != nil {
+		if u != nil {
+			u.Abort()
+		}
 		return 0, err
 	}
-	if r.db.cache != nil {
-		// A new tuple may satisfy stored procedural predicates over this
-		// relation; the relation-level lock invalidates those results.
-		if _, err := r.db.cache.Invalidate(relLockOID(r.rel.ID)); err != nil {
-			return 0, err
-		}
+	if err := r.db.commitInvalidation(u, locks); err != nil {
+		return 0, err
 	}
 	return object.NewOID(r.rel.ID, key), nil
 }

@@ -95,18 +95,20 @@ func (r *Relation) Update(key int64, row Row) error {
 	if err != nil {
 		return err
 	}
+	// Under versioned serving the in-place write happens while the
+	// per-object latches are held and the invalidation watermarks advance
+	// before the commit epoch publishes — snapshot readers either see the
+	// old epoch (and the still-valid cached unit) or the new epoch with
+	// the watermark already in place. Without it, plain invalidation.
+	locks := []object.OID{object.NewOID(r.rel.ID, key), relLockOID(r.rel.ID)}
+	u := r.db.beginTxnUpdate(locks)
 	if err := r.rel.Tree.Update(key, rec); err != nil {
+		if u != nil {
+			u.Abort()
+		}
 		return err
 	}
-	if r.db.cache != nil {
-		if _, err := r.db.cache.Invalidate(object.NewOID(r.rel.ID, key)); err != nil {
-			return err
-		}
-		if _, err := r.db.cache.Invalidate(relLockOID(r.rel.ID)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return r.db.commitInvalidation(u, locks)
 }
 
 // unitValue frames resolved rows for cache storage: length-prefixed
@@ -123,7 +125,7 @@ func decodeRowsFromCache(s *tuple.Schema, raw []byte) ([]Row, error) {
 // where precomputation helps: OID children cache the materialized unit;
 // procedural children cache the stored query's result. Value-based
 // children are already materialized (the shaded cells of Figure 1).
-func (r *Relation) resolveCached(key int64, attr string) (*Resolved, error) {
+func (r *Relation) resolveCached(key int64, attr string, epoch uint64) (*Resolved, error) {
 	if r.db.cache == nil {
 		return r.Resolve(key, attr)
 	}
@@ -157,7 +159,7 @@ func (r *Relation) resolveCached(key int64, attr string) (*Resolved, error) {
 			return nil, err
 		}
 		unit := object.Unit(oids)
-		if v, ok, err := r.db.cache.Lookup(unit); err != nil {
+		if v, ok, err := r.db.cache.LookupSnap(unit, epoch); err != nil {
 			return nil, err
 		} else if ok {
 			rows, err := decodeRowsFromCache(srel.Schema, v)
@@ -183,7 +185,7 @@ func (r *Relation) resolveCached(key int64, attr string) (*Resolved, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := r.db.cache.Insert(unit, v); err != nil {
+		if err := r.db.cache.InsertSnap(unit, v, epoch); err != nil {
 			return nil, err
 		}
 		return &Resolved{
@@ -210,7 +212,7 @@ func (r *Relation) resolveCached(key int64, attr string) (*Resolved, error) {
 			return nil, err
 		}
 		keyUnit := procCacheKey(src)
-		if v, ok, err := r.db.cache.Lookup(keyUnit); err != nil {
+		if v, ok, err := r.db.cache.LookupSnap(keyUnit, epoch); err != nil {
 			return nil, err
 		} else if ok {
 			rows, err := decodeRowsFromCache(schema, v)
@@ -243,7 +245,7 @@ func (r *Relation) resolveCached(key int64, attr string) (*Resolved, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := r.db.cache.InsertWithLocks(keyUnit, locks, v); err != nil {
+			if err := r.db.cache.InsertSnapWithLocks(keyUnit, locks, v, epoch); err != nil {
 				return nil, err
 			}
 		}
@@ -258,15 +260,21 @@ func (r *Relation) resolveCached(key int64, attr string) (*Resolved, error) {
 
 // RetrievePathCached is RetrievePath through the cache enabled with
 // EnableCache; without a cache it behaves identically to RetrievePath.
+// With versioned serving on, the whole call reads at one pinned
+// snapshot epoch: cache hits are watermark-checked against it, so an
+// update committing mid-scan can never serve this query a unit newer
+// than its snapshot.
 func (d *Database) RetrievePathCached(relName, childrenAttr, targetAttr string, lo, hi int64) ([]Value, error) {
 	crel, err := d.cat.Get(relName)
 	if err != nil {
 		return nil, err
 	}
+	epoch, release := d.beginSnapshotEpoch()
+	defer release()
 	r := &Relation{db: d, rel: crel, schema: crel.Schema, childAttrs: map[string]bool{childrenAttr: true}}
 	var out []Value
 	err = crel.Tree.Range(lo, hi, func(key int64, _ []byte) (bool, error) {
-		res, rerr := r.resolveCached(key, childrenAttr)
+		res, rerr := r.resolveCached(key, childrenAttr, epoch)
 		if rerr != nil {
 			return false, rerr
 		}

@@ -55,6 +55,7 @@ type Snapshot struct {
 	Faults   FaultStats    `json:"faults"`
 	Prefetch PrefetchStats `json:"prefetch"`
 	SlowLog  SlowLogStats  `json:"slow_log"`
+	Txn      *TxnStats     `json:"txn,omitempty"` // nil until EnableVersionedServing (see database_txn.go)
 }
 
 // Snapshot returns the current consolidated counters.
@@ -84,6 +85,7 @@ func (d *Database) Snapshot() Snapshot {
 		cs := d.cache.Stats()
 		snap.Cache = &cs
 	}
+	snap.Txn = d.TxnStats()
 	return snap
 }
 

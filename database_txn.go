@@ -1,0 +1,91 @@
+package corep
+
+import (
+	"corep/internal/object"
+	"corep/internal/txn"
+)
+
+// This file wires the epoch version store (internal/txn) into the
+// object API. The object API stays synchronous and in-place — a
+// Relation.Update still writes the base B-tree directly — but with
+// versioned serving enabled every mutation commits through the store:
+// the cache's invalidation watermarks advance inside the commit
+// critical section (before the epoch publishes), cached reads carry a
+// pinned snapshot epoch, and the store's contention counters (commits,
+// snapshot reads, aborted updates, per-shard latch waits) surface in
+// Database.Snapshot() and corepquery's \stats. The serving tier
+// (internal/harness) uses the same store to retire its global write
+// latch entirely; see DESIGN.md §11 for the protocol.
+
+// TxnStats mirrors the version store's counters (see txn.Stats).
+type TxnStats = txn.Stats
+
+// EnableVersionedServing attaches an epoch version store. Reads through
+// RetrievePathCached then pin a snapshot epoch and cache hits are
+// watermark-checked against it; updates commit under per-object latches
+// with an atomic epoch bump. Idempotent.
+func (d *Database) EnableVersionedServing() {
+	if d.txn == nil {
+		d.txn = txn.New(0)
+		// Publish an empty bootstrap epoch so every snapshot carries
+		// epoch ≥ 1: the cache reserves epoch 0 as the "unversioned
+		// caller" sentinel that bypasses watermark checks.
+		d.txn.BeginUpdate(nil).Commit(nil)
+	}
+}
+
+// TxnStats returns the version store's counters (nil before
+// EnableVersionedServing).
+func (d *Database) TxnStats() *TxnStats {
+	if d.txn == nil {
+		return nil
+	}
+	s := d.txn.Stats()
+	return &s
+}
+
+// beginSnapshotEpoch pins the published epoch for one cached read path.
+// Without versioned serving it returns epoch 0 (the cache's historic,
+// unversioned path) and a no-op release.
+func (d *Database) beginSnapshotEpoch() (uint64, func()) {
+	if d.txn == nil {
+		return 0, func() {}
+	}
+	snap := d.txn.Begin()
+	return snap.Epoch(), snap.Release
+}
+
+// commitInvalidation runs one mutation's cache-coherence protocol under
+// the version store: per-object latches are already held (u), the
+// watermark advance happens inside the commit critical section before
+// the new epoch publishes — so a reader on an older snapshot can never
+// re-cache or hit a unit covering the touched objects — and the
+// post-publish sweep reclaims dead entries. Nil u (versioning off)
+// falls back to plain invalidation.
+func (d *Database) commitInvalidation(u *txn.Update, oids []object.OID) error {
+	if u != nil {
+		u.Commit(func(epoch uint64) {
+			if d.cache != nil {
+				d.cache.MarkInvalid(oids, epoch)
+			}
+		})
+	}
+	if d.cache == nil {
+		return nil
+	}
+	for _, oid := range oids {
+		if _, err := d.cache.Invalidate(oid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// beginTxnUpdate opens a latched update over targets, or returns nil
+// when versioned serving is off.
+func (d *Database) beginTxnUpdate(targets []object.OID) *txn.Update {
+	if d.txn == nil {
+		return nil
+	}
+	return d.txn.BeginUpdate(targets)
+}

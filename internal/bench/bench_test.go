@@ -54,18 +54,27 @@ func TestReadRejectsUnversioned(t *testing.T) {
 
 func TestMetricDirection(t *testing.T) {
 	for name, want := range map[string]Direction{
-		"qps":            HigherBetter,
-		"speedup":        HigherBetter,
-		"p99_ns":         LowerBetter,
-		"p50_ns":         LowerBetter,
-		"sync_reads":     LowerBetter,
-		"baseline_reads": LowerBetter,
-		"total_io":       LowerBetter,
-		"violations":     LowerBetter,
-		"slo_violations": LowerBetter,
-		"failed":         LowerBetter,
-		"clean_errors":   Info,
-		"retries":        Info,
+		"qps":          HigherBetter,
+		"retrieve_qps": HigherBetter,
+		"update_qps":   HigherBetter,
+		"speedup":      HigherBetter,
+		// The txn sweep's counters are deliberately named off the
+		// lower-better suffixes ("snapshots", not "snapshot_reads"):
+		// they are volume indicators, not costs, and must never gate.
+		"snapshots":          Info,
+		"latch_waits":        Info,
+		"versions_installed": Info,
+		"drain_applied":      Info,
+		"p99_ns":             LowerBetter,
+		"p50_ns":             LowerBetter,
+		"sync_reads":         LowerBetter,
+		"baseline_reads":     LowerBetter,
+		"total_io":           LowerBetter,
+		"violations":         LowerBetter,
+		"slo_violations":     LowerBetter,
+		"failed":             LowerBetter,
+		"clean_errors":       Info,
+		"retries":            Info,
 	} {
 		if got := MetricDirection(name); got != want {
 			t.Errorf("MetricDirection(%q) = %s, want %s", name, got, want)
@@ -122,6 +131,29 @@ func TestCompareDirections(t *testing.T) {
 	}
 	if byMetric["clean_errors"].Regressed {
 		t.Fatal("informational metric gated the build")
+	}
+}
+
+// TestCompareTxnSweepGates pins the contention sweep's gating contract:
+// a 20% retrieve-throughput drop in a versioned cell regresses at the
+// 10% gate, while the txn volume counters riding in the same cell move
+// arbitrarily without gating the build.
+func TestCompareTxnSweepGates(t *testing.T) {
+	old := env(t, "txn", Cell{Name: "versioned/z0.9/u0.3/K=8", Metrics: map[string]float64{
+		"retrieve_qps": 100, "update_qps": 40,
+		"snapshots": 200, "latch_waits": 3, "versions_installed": 120, "drain_applied": 50,
+	}})
+	new_ := env(t, "txn", Cell{Name: "versioned/z0.9/u0.3/K=8", Metrics: map[string]float64{
+		"retrieve_qps": 80, "update_qps": 38,
+		"snapshots": 900, "latch_waits": 300, "versions_installed": 10, "drain_applied": 1,
+	}})
+	d, err := Compare(old, new_, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := d.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "retrieve_qps" {
+		t.Fatalf("regressions = %v, want exactly retrieve_qps (update_qps fell 5%%, counters are info)", regs)
 	}
 }
 

@@ -33,9 +33,11 @@ func (d Direction) String() string {
 
 // higherBetter names metrics where bigger is better.
 var higherBetter = map[string]bool{
-	"qps":     true,
-	"speedup": true,
-	"slo_met": true,
+	"qps":          true,
+	"retrieve_qps": true,
+	"update_qps":   true,
+	"speedup":      true,
+	"slo_met":      true,
 }
 
 // MetricDirection classifies a metric name: an explicit allowlist for

@@ -39,6 +39,7 @@ type Stats struct {
 	Invalidations int64 // units invalidated by updates
 	Degraded      int64 // operations degraded by a disk fault (lookup→miss, insert skipped)
 	Orphans       int64 // hash-file entries left behind by faulted deletes
+	StaleRejects  int64 // versioned serving: hits suppressed / inserts refused by watermarks
 }
 
 // Sub returns the counter deltas s - o.
@@ -47,6 +48,7 @@ func (s Stats) Sub(o Stats) Stats {
 		Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses, Inserts: s.Inserts - o.Inserts,
 		Evictions: s.Evictions - o.Evictions, Invalidations: s.Invalidations - o.Invalidations,
 		Degraded: s.Degraded - o.Degraded, Orphans: s.Orphans - o.Orphans,
+		StaleRejects: s.StaleRejects - o.StaleRejects,
 	}
 }
 
@@ -73,6 +75,7 @@ func (s Stats) Counters() []obs.KV {
 		{Key: "cache.invalidations", Value: s.Invalidations},
 		{Key: "cache.degraded", Value: s.Degraded},
 		{Key: "cache.orphans", Value: s.Orphans},
+		{Key: "cache.stale_rejects", Value: s.StaleRejects},
 	}
 }
 
@@ -97,6 +100,16 @@ type Cache struct {
 
 	stats Stats
 
+	// Versioned-serving watermarks (see version.go and DESIGN.md §11).
+	// wm[oid] is the newest committed epoch that updated the subobject
+	// (W); epochs[key] is the snapshot epoch an entry's value was
+	// materialized at (M). Guarded by wmMu, never by c.mu, so the txn
+	// commit critical section can advance watermarks without waiting
+	// behind hash-file I/O. Lock order: c.mu → wmMu.
+	wmMu   sync.Mutex
+	wm     map[object.OID]uint64
+	epochs map[int64]uint64
+
 	// Obs, when enabled, records spans around the I/O-bearing cache
 	// operations (lookup, insert, invalidate). Zero value = disabled.
 	Obs obs.Ctx
@@ -119,6 +132,8 @@ func New(pool *buffer.Pool, maxUnits, buckets int, seed int64) (*Cache, error) {
 		units:    make(map[int64]object.Unit),
 		segments: make(map[int64]int),
 		ilocks:   make(map[object.OID]map[int64]struct{}),
+		wm:       make(map[object.OID]uint64),
+		epochs:   make(map[int64]uint64),
 	}, nil
 }
 
@@ -176,12 +191,26 @@ func numSegments(valueLen int) int {
 // stored segment on hit. ok=false means a miss (no I/O is charged: the
 // directory is memory resident).
 func (c *Cache) Lookup(u object.Unit) (value []byte, ok bool, err error) {
+	return c.LookupSnap(u, 0)
+}
+
+// LookupSnap is Lookup for a versioned reader pinned at snapshot epoch
+// snap: a cached entry only hits when its value is provably current at
+// that snapshot (see freshLocked). snap = 0 — the single-threaded and
+// latched paths — skips the watermark check entirely, so those paths
+// are byte-identical to the historic Lookup.
+func (c *Cache) LookupSnap(u object.Unit, snap uint64) (value []byte, ok bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := u.HashKey()
 	segs, cached := c.segments[key]
 	if !cached {
 		c.stats.Misses++
+		return nil, false, nil
+	}
+	if snap > 0 && !c.freshLocked(key, u, snap) {
+		c.stats.Misses++
+		c.stats.StaleRejects++
 		return nil, false, nil
 	}
 	// Only hits open a span: misses never touch the hash file.
@@ -229,6 +258,11 @@ func (c *Cache) Insert(u object.Unit, value []byte) error {
 func (c *Cache) InsertWithLocks(u object.Unit, locks []object.OID, value []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.insertLocked(u, locks, value)
+}
+
+// insertLocked is the insert body; the caller holds c.mu.
+func (c *Cache) insertLocked(u object.Unit, locks []object.OID, value []byte) error {
 	sp := c.Obs.Start("cache.insert")
 	defer sp.End()
 	sp.SetAttr("bytes", int64(len(value)))
@@ -347,6 +381,9 @@ func (c *Cache) drop(key int64) error {
 	}
 	delete(c.segments, key)
 	delete(c.units, key)
+	c.wmMu.Lock()
+	delete(c.epochs, key)
+	c.wmMu.Unlock()
 	for _, oid := range u {
 		if locks := c.ilocks[oid]; locks != nil {
 			delete(locks, key)
@@ -439,6 +476,14 @@ func (c *Cache) CheckInvariants() error {
 			}
 		}
 	}
+	c.wmMu.Lock()
+	for key := range c.epochs {
+		if _, ok := c.units[key]; !ok {
+			c.wmMu.Unlock()
+			return fmt.Errorf("cache: materialization epoch for dropped unit %d", key)
+		}
+	}
+	c.wmMu.Unlock()
 	wantEntries := 0
 	for key := range c.units {
 		wantEntries += c.segments[key]

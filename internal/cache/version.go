@@ -1,0 +1,112 @@
+// Versioned-serving coherence for the outside value cache.
+//
+// Under versioned serving (internal/txn) the cache must stay coherent
+// without the global latch that used to order lookups against
+// invalidations. Two epoch maps do the job (DESIGN.md §11):
+//
+//	W — wm[oid]: the newest committed epoch that updated subobject oid.
+//	    Advanced by MarkInvalid *inside* the txn commit critical
+//	    section, before the epoch publishes, so no snapshot at or past
+//	    the epoch can observe a stale W.
+//	M — epochs[key]: the snapshot epoch a cached entry's value was
+//	    materialized at (the value already reflects every version
+//	    ≤ M, because the reader patched it with its snapshot overlay
+//	    before inserting).
+//
+// A snapshot at epoch S may serve a cached entry iff
+//
+//	M ≤ S  and  W[oid] ≤ M for every OID in the entry's lock set
+//
+// — the value is no newer than the reader's snapshot, and no lock-set
+// member was updated after the value was built. Entries with some
+// W > M are dead: W only grows, so they can never hit again; the
+// post-publish Invalidate sweep reclaims them (paying the paper's
+// invalidation I/O), but correctness never depends on that sweep
+// having run.
+//
+// MarkInvalid takes only wmMu — never c.mu — so commits don't wait
+// behind hash-file I/O. The resulting races are benign by
+// construction: a reader that passes the check just before W advances
+// holds S < e (the committing epoch publishes after it began), so the
+// entry really was current at S.
+package cache
+
+import "corep/internal/object"
+
+// MarkInvalid advances the update watermark of each OID to epoch. It
+// is pure in-memory bookkeeping (no hash-file I/O), safe to call from
+// inside the txn commit critical section. The caller should follow up
+// with Invalidate per OID after the epoch publishes to reclaim the
+// dead entries' hash-file space.
+func (c *Cache) MarkInvalid(oids []object.OID, epoch uint64) {
+	c.wmMu.Lock()
+	for _, oid := range oids {
+		if epoch > c.wm[oid] {
+			c.wm[oid] = epoch
+		}
+	}
+	c.wmMu.Unlock()
+}
+
+// freshLocked reports whether the entry under key (lock set members)
+// may be served to a snapshot at epoch snap. Caller holds c.mu.
+func (c *Cache) freshLocked(key int64, members object.Unit, snap uint64) bool {
+	c.wmMu.Lock()
+	defer c.wmMu.Unlock()
+	m := c.epochs[key]
+	if m > snap {
+		return false
+	}
+	for _, oid := range members {
+		if c.wm[oid] > m {
+			return false
+		}
+	}
+	return true
+}
+
+// InsertSnap caches a value materialized by a reader pinned at
+// snapshot epoch snap, recording snap as the entry's materialization
+// epoch. snap = 0 is the plain Insert.
+func (c *Cache) InsertSnap(u object.Unit, value []byte, snap uint64) error {
+	return c.InsertSnapWithLocks(u, u, value, snap)
+}
+
+// InsertSnapWithLocks is InsertSnap with a caller-chosen lock set
+// (cached procedural results key by query but lock on result tuples).
+// The insert is refused — not an error — when the value is already
+// stale on arrival (some lock-set member updated past snap) or when a
+// fresher materialization of the same entry is cached (its M exceeds
+// snap; replacing it would regress M and un-serve newer readers).
+func (c *Cache) InsertSnapWithLocks(u object.Unit, locks []object.OID, value []byte, snap uint64) error {
+	if snap == 0 {
+		return c.InsertWithLocks(u, locks, value)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := u.HashKey()
+	c.wmMu.Lock()
+	stale := false
+	for _, oid := range locks {
+		if c.wm[oid] > snap {
+			stale = true
+			break
+		}
+	}
+	fresher := c.epochs[key] > snap
+	c.wmMu.Unlock()
+	if stale {
+		c.stats.StaleRejects++
+		return nil
+	}
+	if fresher {
+		return nil
+	}
+	if err := c.insertLocked(u, locks, value); err != nil {
+		return err
+	}
+	c.wmMu.Lock()
+	c.epochs[key] = snap
+	c.wmMu.Unlock()
+	return nil
+}

@@ -10,6 +10,7 @@ package catalog
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"corep/internal/btree"
 	"corep/internal/buffer"
@@ -49,7 +50,14 @@ type Relation struct {
 }
 
 // Catalog is the registry of relations sharing one buffer pool.
+//
+// Lookups and registrations take a catalog-local RW latch, so
+// concurrent serving clients resolving relations never contend on
+// anything wider (the global serving latch used to cover this; see
+// DESIGN.md §11). Relation handles themselves are immutable after
+// registration.
 type Catalog struct {
+	mu     sync.RWMutex
 	pool   *buffer.Pool
 	byName map[string]*Relation
 	byID   map[uint16]*Relation
@@ -98,6 +106,8 @@ func (c *Catalog) CreateHash(name string, schema *tuple.Schema, buckets int) (*R
 }
 
 func (c *Catalog) register(r *Relation) (*Relation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.byName[r.Name]; dup {
 		return nil, fmt.Errorf("catalog: relation %q already exists", r.Name)
 	}
@@ -111,6 +121,8 @@ func (c *Catalog) register(r *Relation) (*Relation, error) {
 // Restore registers a relation reconstructed from persisted metadata,
 // keeping its original id (reopen path of file-backed databases).
 func (c *Catalog) Restore(r *Relation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.byName[r.Name]; dup {
 		return fmt.Errorf("catalog: relation %q already exists", r.Name)
 	}
@@ -129,6 +141,8 @@ func (c *Catalog) Restore(r *Relation) error {
 // (the simulated disk never shrinks); experiments drop and rebuild
 // temporaries freely.
 func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.byName[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoRelation, name)
@@ -140,6 +154,8 @@ func (c *Catalog) Drop(name string) error {
 
 // Get returns the relation named name.
 func (c *Catalog) Get(name string) (*Relation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	r, ok := c.byName[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoRelation, name)
@@ -158,6 +174,8 @@ func (c *Catalog) MustGet(name string) *Relation {
 
 // ByID returns the relation with the given id.
 func (c *Catalog) ByID(id uint16) (*Relation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	r, ok := c.byID[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNoRelation, id)
@@ -167,6 +185,8 @@ func (c *Catalog) ByID(id uint16) (*Relation, error) {
 
 // Names returns all relation names (unordered).
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.byName))
 	for n := range c.byName {
 		out = append(out, n)

@@ -42,6 +42,12 @@ type ChaosConfig struct {
 	// deadlock violation. 0 means 120s.
 	Timeout time.Duration
 
+	// ConcurrentUpdaters arms the versioned-store atomicity hammer
+	// (RunTxnChaos): that many writer goroutines commit sentinel batches
+	// while as many readers audit every snapshot for torn or lost
+	// versions. 0 lets RunTxnChaos pick its default (2).
+	ConcurrentUpdaters int
+
 	// SlowLogSize, when positive, arms per-schedule tail sampling: every
 	// operation is traced (full span tree plus per-op fault-plan deltas)
 	// and the SlowLogSize slowest land in ChaosRun.SlowQueries. A

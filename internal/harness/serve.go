@@ -13,6 +13,7 @@ import (
 	"corep/internal/disk"
 	"corep/internal/obs"
 	"corep/internal/strategy"
+	"corep/internal/txn"
 	"corep/internal/workload"
 )
 
@@ -82,6 +83,14 @@ type ServeConfig struct {
 	// across pool stripes, so the benchmark models a wait to overlap;
 	// I/O counts are unaffected.
 	DiskLatency time.Duration
+
+	// Versioned retires the global write latch: updates install
+	// epoch-published versions (internal/txn) under per-object latches
+	// and retrieves read pinned snapshots with no shared lock at all.
+	// After the clients join, the pending versions are drained back into
+	// the base layout through the strategy's own Update path. Off (the
+	// default), the run uses the historic RW latch. See DESIGN.md §11.
+	Versioned bool
 
 	// IsolateErrors keeps the server loop alive when an operation fails:
 	// the error is counted (and sampled) in the result instead of
@@ -155,6 +164,20 @@ type ServeResult struct {
 	// 0 without it: the first error aborts the run instead).
 	Failed       int      `json:"failed,omitempty"`
 	ErrorSamples []string `json:"error_samples,omitempty"`
+
+	// RetrieveQPS/UpdateQPS split throughput by operation kind over the
+	// serving phase — the contention sweep's headline metrics.
+	RetrieveQPS float64 `json:"retrieve_qps,omitempty"`
+	UpdateQPS   float64 `json:"update_qps,omitempty"`
+
+	// Versioned-serving outcome (cfg.Versioned): how many objects the
+	// post-join drain folded back into the base layout, the wall clock it
+	// took (reported apart from Elapsed — reconciliation is deferred
+	// work, not serving latency), and the version store's counters.
+	Versioned    bool          `json:"versioned,omitempty"`
+	DrainApplied int           `json:"drain_applied,omitempty"`
+	DrainTime    time.Duration `json:"drain_ns,omitempty"`
+	Txn          *txn.Stats    `json:"txn,omitempty"`
 }
 
 func (r *ServeResult) String() string {
@@ -182,6 +205,15 @@ func (r *ServeResult) Record(reg *obs.Registry, prefix string) {
 	reg.Gauge(prefix + "serve.result.total_io").Set(r.TotalIO)
 	reg.Gauge(prefix + "serve.result.failed").Set(int64(r.Failed))
 	reg.Gauge(prefix + "serve.result.slo_violations").Set(int64(r.SLOViolations))
+	if r.Txn != nil {
+		reg.Gauge(prefix + "serve.result.txn.versions_installed").Set(r.Txn.Installed)
+		reg.Gauge(prefix + "serve.result.txn.commits").Set(r.Txn.Commits)
+		reg.Gauge(prefix + "serve.result.txn.aborts").Set(r.Txn.Aborts)
+		reg.Gauge(prefix + "serve.result.txn.snapshots").Set(r.Txn.Snapshots)
+		reg.Gauge(prefix + "serve.result.txn.overlay_hits").Set(r.Txn.Hits)
+		reg.Gauge(prefix + "serve.result.txn.latch_waits").Set(r.Txn.Waited)
+		reg.Gauge(prefix + "serve.result.txn.drain_applied").Set(int64(r.DrainApplied))
+	}
 }
 
 // serveIO snapshots the database's shared disk/pool counters — the
@@ -203,10 +235,13 @@ type opLat struct {
 
 // Serve builds one database and hammers it with cfg.Clients concurrent
 // goroutines, each issuing its share of a pre-generated retrieve/update
-// mix. Retrieves run under the database's shared latch, updates under
-// the exclusive latch, so cache I-lock invalidation stays correct while
-// readers proceed in parallel (see DESIGN.md §Concurrency). The first
-// error cancels every client.
+// mix. By default retrieves run under the database's shared latch and
+// updates under the exclusive latch, so cache I-lock invalidation stays
+// correct while readers proceed in parallel (see DESIGN.md
+// §Concurrency). With cfg.Versioned the global latch is retired: each
+// retrieve pins an epoch snapshot and each update commits versions
+// under per-object latches, so neither side ever blocks the other on a
+// shared lock (DESIGN.md §11). The first error cancels every client.
 func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if cfg.Clients < 1 {
 		cfg.Clients = 1
@@ -238,6 +273,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	}
 	if err := db.ResetCold(); err != nil {
 		return nil, err
+	}
+	if cfg.Versioned {
+		db.EnableVersioning()
 	}
 	db.Disk.SetLatency(cfg.DiskLatency)
 	if cfg.FaultPlan != nil {
@@ -306,16 +344,29 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 				var opErr error
 				switch op.Kind {
 				case workload.OpRetrieve:
-					db.Latch.RLock()
-					_, opErr = st.Retrieve(db, strategy.Query{Lo: op.Lo, Hi: op.Hi, AttrIdx: op.AttrIdx})
-					db.Latch.RUnlock()
+					if cfg.Versioned {
+						snap := db.Versions.Begin()
+						_, opErr = st.Retrieve(db, strategy.Query{Lo: op.Lo, Hi: op.Hi, AttrIdx: op.AttrIdx, Snap: snap})
+						snap.Release()
+					} else {
+						db.Latch.RLock()
+						_, opErr = st.Retrieve(db, strategy.Query{Lo: op.Lo, Hi: op.Hi, AttrIdx: op.AttrIdx})
+						db.Latch.RUnlock()
+					}
 					if opErr != nil {
 						opErr = fmt.Errorf("serve: client %d retrieve [%d,%d]: %w", c, op.Lo, op.Hi, opErr)
 					}
 				case workload.OpUpdate:
-					db.Latch.Lock()
-					opErr = st.Update(db, op)
-					db.Latch.Unlock()
+					if cfg.Versioned {
+						// The strategy's Update sees db.Versions != nil and
+						// routes through ApplyUpdateVersioned: per-object
+						// latches plus the commit epoch bump, no global lock.
+						opErr = st.Update(db, op)
+					} else {
+						db.Latch.Lock()
+						opErr = st.Update(db, op)
+						db.Latch.Unlock()
+					}
 					if opErr != nil {
 						opErr = fmt.Errorf("serve: client %d update: %w", c, opErr)
 					}
@@ -366,6 +417,28 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		return nil, firstErr
 	}
 
+	// Versioned serving defers base-layout writes: after the clients
+	// join, fold the newest version of every dirty object back through
+	// the strategy's own in-place update path (db.Versions is nil while
+	// draining, so st.Update takes the base route and the cache sweep
+	// still runs). Drain time is reported separately from Elapsed — it is
+	// reconciliation work outside the measured serving window.
+	var (
+		drained   int
+		drainTime time.Duration
+		txnStats  *txn.Stats
+	)
+	if cfg.Versioned {
+		drainStart := time.Now()
+		drained, err = db.DrainVersions(func(op workload.Op) error { return st.Update(db, op) })
+		if err != nil {
+			return nil, fmt.Errorf("serve: drain versions: %w", err)
+		}
+		drainTime = time.Since(drainStart)
+		s := db.Versions.Stats()
+		txnStats = &s
+	}
+
 	var all []time.Duration
 	var retrLats, updLats []time.Duration
 	perClient := make([]LatencySummary, cfg.Clients)
@@ -410,8 +483,14 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		Failed:    int(failed.Load()),
 	}
 	res.ErrorSamples = samples
+	res.Versioned = cfg.Versioned
+	res.DrainApplied = drained
+	res.DrainTime = drainTime
+	res.Txn = txnStats
 	if elapsed > 0 {
 		res.QPS = float64(res.Retrieves+res.Updates) / elapsed.Seconds()
+		res.RetrieveQPS = float64(res.Retrieves) / elapsed.Seconds()
+		res.UpdateQPS = float64(res.Updates) / elapsed.Seconds()
 	}
 	if cfg.SLO != nil {
 		slo := *cfg.SLO
@@ -481,9 +560,12 @@ func RunThroughput(base ServeConfig, shards int, clientCounts []int) (*Throughpu
 
 // serveCell flattens one result into an envelope cell. Wall-clock
 // percentiles and QPS gate regressions; max is informational (too noisy
-// to gate); total_io is deterministic and gates exactly.
+// to gate); total_io is deterministic and gates exactly. Versioned runs
+// carry the split throughputs plus the txn counters as informational
+// metrics ("snapshots", not "*_reads": the suffix rules in benchdiff
+// would otherwise gate a counter lower-is-better).
 func serveCell(name string, r *ServeResult) bench.Cell {
-	return bench.Cell{Name: name, Metrics: map[string]float64{
+	c := bench.Cell{Name: name, Metrics: map[string]float64{
 		"qps":      r.QPS,
 		"p50_ns":   float64(r.P50),
 		"p95_ns":   float64(r.P95),
@@ -492,6 +574,19 @@ func serveCell(name string, r *ServeResult) bench.Cell {
 		"total_io": float64(r.TotalIO),
 		"failed":   float64(r.Failed),
 	}}
+	if r.Retrieves > 0 {
+		c.Metrics["retrieve_qps"] = r.RetrieveQPS
+	}
+	if r.Updates > 0 {
+		c.Metrics["update_qps"] = r.UpdateQPS
+	}
+	if r.Txn != nil {
+		c.Metrics["versions_installed"] = float64(r.Txn.Installed)
+		c.Metrics["snapshots"] = float64(r.Txn.Snapshots)
+		c.Metrics["latch_waits"] = float64(r.Txn.Waited)
+		c.Metrics["drain_applied"] = float64(r.DrainApplied)
+	}
+	return c
 }
 
 // Cells flattens the sweep for the versioned envelope.

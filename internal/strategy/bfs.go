@@ -85,7 +85,7 @@ func (b bfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := b.joinOne(db, rel, tmp, q.AttrIdx, res); err != nil {
+		if err := b.joinOne(db, rel, tmp, q, res); err != nil {
 			return nil, err
 		}
 	}
@@ -94,7 +94,8 @@ func (b bfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
 
 // joinOne joins one temporary against one child relation, choosing the
 // join method by an I/O estimate.
-func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Temp, attrIdx int, res *Result) error {
+func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Temp, q Query, res *Result) error {
+	attrIdx := q.AttrIdx
 	n := tmp.Count()
 	if n == 0 {
 		return nil
@@ -151,7 +152,7 @@ func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Tem
 				if err != nil {
 					return false, err
 				}
-				res.Values = append(res.Values, v.Int)
+				res.Values = append(res.Values, overlayInt(q.Snap, object.NewOID(rel.ID, key), attrIdx, v.Int))
 				return true, nil
 			})
 		}
@@ -171,7 +172,7 @@ func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Tem
 			if err != nil {
 				return err
 			}
-			vals[i] = v.Int
+			vals[i] = overlayInt(q.Snap, object.NewOID(rel.ID, keys[i]), attrIdx, v.Int)
 			return nil
 		})
 		if err != nil {
@@ -201,17 +202,20 @@ func (b bfs) joinOne(db *workload.DB, rel *catalog.Relation, tmp *query.Int64Tem
 	if mx, ok := outerTemp.Max(); ok {
 		defer rel.Tree.AttachChainPrefetch(it, mx)()
 	}
-	return query.MergeJoin(db.Obs, outerTemp.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
+	return query.MergeJoin(db.Obs, outerTemp.Iter(), treeKeyedIter{it}, func(key int64, payload []byte) (bool, error) {
 		v, err := tuple.DecodeField(db.ChildSchema, payload, attrIdx)
 		if err != nil {
 			return false, err
 		}
-		res.Values = append(res.Values, v.Int)
+		res.Values = append(res.Values, overlayInt(q.Snap, object.NewOID(rel.ID, key), attrIdx, v.Int))
 		return true, nil
 	})
 }
 
 func (bfs) Update(db *workload.DB, op workload.Op) error {
+	if db.Versions != nil {
+		return db.ApplyUpdateVersioned(op, nil)
+	}
 	return db.ApplyUpdateBase(op)
 }
 

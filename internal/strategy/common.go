@@ -8,6 +8,7 @@ import (
 	"corep/internal/btree"
 	"corep/internal/object"
 	"corep/internal/tuple"
+	"corep/internal/txn"
 	"corep/internal/workload"
 )
 
@@ -162,6 +163,54 @@ func fetchChildRecs(db *workload.DB, oids []object.OID, out [][]byte) error {
 		}
 	}
 	return nil
+}
+
+// overlayInt returns the snapshot's version of the projected value for
+// oid when one exists and the query projects ret1 — the only field
+// updates modify, so ret2/ret3 projections never need the overlay.
+// Nil snapshot: v unchanged (the serial path pays one nil check).
+func overlayInt(snap *txn.Snapshot, oid object.OID, attrIdx int, v int64) int64 {
+	if snap == nil || attrIdx != workload.FieldRet1 {
+		return v
+	}
+	if nv, ok := snap.Read(oid); ok {
+		return nv
+	}
+	return v
+}
+
+// overlayValues patches a batch of projected values in place with the
+// snapshot's versions (out[i] belongs to oids[i]).
+func overlayValues(snap *txn.Snapshot, oids []object.OID, attrIdx int, out []int64) {
+	if snap == nil || attrIdx != workload.FieldRet1 {
+		return
+	}
+	for i, oid := range oids {
+		if v, ok := snap.Read(oid); ok {
+			out[i] = v
+		}
+	}
+}
+
+// overlayRec re-encodes a full child record with the snapshot's ret1
+// version of oid patched in, when one exists; otherwise the record is
+// returned unchanged. DFSCACHE patches materialized records before
+// caching them, so a cached value really is current as of the reader's
+// snapshot (the cache records that epoch as the entry's M watermark).
+func overlayRec(db *workload.DB, snap *txn.Snapshot, oid object.OID, rec []byte) ([]byte, error) {
+	if snap == nil {
+		return rec, nil
+	}
+	nv, ok := snap.Read(oid)
+	if !ok {
+		return rec, nil
+	}
+	t, err := tuple.Decode(db.ChildSchema, rec)
+	if err != nil {
+		return nil, err
+	}
+	t[workload.FieldRet1] = tuple.IntVal(nv)
+	return tuple.Encode(nil, db.ChildSchema, t)
 }
 
 // ioSpan measures the disk I/O of a code span.

@@ -38,6 +38,7 @@ func (dfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
 		if err := fetchChildAttrs(db, oids, q.AttrIdx, res.Values); err != nil {
 			return nil, err
 		}
+		overlayValues(q.Snap, oids, q.AttrIdx, res.Values)
 	}
 	probeSp.SetAttr("values", int64(len(res.Values)))
 	probeSp.End()
@@ -46,5 +47,8 @@ func (dfs) Retrieve(db *workload.DB, q Query) (*Result, error) {
 }
 
 func (dfs) Update(db *workload.DB, op workload.Op) error {
+	if db.Versions != nil {
+		return db.ApplyUpdateVersioned(op, nil)
+	}
 	return db.ApplyUpdateBase(op)
 }

@@ -58,7 +58,10 @@ func (c dfscache) Retrieve(db *workload.DB, q Query) (*Result, error) {
 	for _, p := range parents {
 		unit := p.unit
 		key := c.cacheUnit(db, p)
-		value, ok, err := db.Cache.Lookup(key)
+		// Snapshot epoch 0 (nil Snap) is the historic unversioned path;
+		// under versioned serving the epoch gates hits on the cache's
+		// update watermarks (see cache/version.go).
+		value, ok, err := db.Cache.LookupSnap(key, q.Snap.Epoch())
 		if err != nil {
 			return nil, err
 		}
@@ -70,17 +73,26 @@ func (c dfscache) Retrieve(db *workload.DB, q Query) (*Result, error) {
 			continue
 		}
 		// Materialize the unit with one page-ordered batch, answer from
-		// it, and cache it.
+		// it, and cache it. Under a snapshot, base records are patched
+		// with the version overlay first: the cached value must really be
+		// current as of the epoch recorded with the entry.
 		materialized++
 		recs := make([][]byte, len(unit))
 		if err := fetchChildRecs(db, unit, recs); err != nil {
 			return nil, err
 		}
+		if q.Snap != nil {
+			for i, oid := range unit {
+				if recs[i], err = overlayRec(db, q.Snap, oid, recs[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
 		value = encodeUnitValue(recs)
 		if err := projectUnitValue(db, value, q.AttrIdx, &res.Values); err != nil {
 			return nil, err
 		}
-		if err := db.Cache.Insert(key, value); err != nil && !disk.IsFault(err) {
+		if err := db.Cache.InsertSnap(key, value, q.Snap.Epoch()); err != nil && !disk.IsFault(err) {
 			// A faulted insert only means the unit isn't cached; the rows
 			// are already materialized, so degrade and keep answering.
 			return nil, err
@@ -94,6 +106,27 @@ func (c dfscache) Retrieve(db *workload.DB, q Query) (*Result, error) {
 }
 
 func (dfscache) Update(db *workload.DB, op workload.Op) error {
+	if db.Versions != nil {
+		// Version-aware invalidation: the watermarks advance inside the
+		// commit critical section — before the epoch publishes — so no
+		// snapshot at or past it can hit a stale entry. The Invalidate
+		// sweep afterwards reclaims the dead entries' hash-file space,
+		// paying the paper's invalidation I/O outside the publish lock;
+		// correctness never depends on the sweep (watermarked entries can
+		// never hit again).
+		if err := db.ApplyUpdateVersioned(op, func(e uint64) {
+			db.Cache.MarkInvalid(op.Targets, e)
+		}); err != nil {
+			return err
+		}
+		var invErr error
+		for _, oid := range op.Targets {
+			if _, err := db.Cache.Invalidate(oid); err != nil && invErr == nil {
+				invErr = err
+			}
+		}
+		return invErr
+	}
 	baseErr := db.ApplyUpdateBase(op)
 	// I-lock invalidation: every cached unit containing an updated
 	// subobject is dropped, paying hash-file deletes. This runs even

@@ -104,7 +104,7 @@ func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
 		}
 		for _, oid := range unit {
 			if v, ok := local[oid]; ok {
-				res.Values = append(res.Values, v)
+				res.Values = append(res.Values, overlayInt(q.Snap, oid, q.AttrIdx, v))
 				continue
 			}
 			rid, ok := rids[oid]
@@ -124,7 +124,7 @@ func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
 			if err != nil {
 				return err
 			}
-			res.Values = append(res.Values, av.Int)
+			res.Values = append(res.Values, overlayInt(q.Snap, oid, q.AttrIdx, av.Int))
 		}
 		fetchIO += span.end()
 		return nil
@@ -180,5 +180,8 @@ func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
 }
 
 func (dfsclust) Update(db *workload.DB, op workload.Op) error {
+	if db.Versions != nil {
+		return db.ApplyUpdateVersioned(op, nil)
+	}
 	return db.ApplyUpdateCluster(op)
 }

@@ -3,6 +3,7 @@ package strategy
 import (
 	"sort"
 
+	"corep/internal/object"
 	"corep/internal/query"
 	"corep/internal/tuple"
 	"corep/internal/workload"
@@ -47,7 +48,7 @@ func (s smart) Retrieve(db *workload.DB, q Query) (*Result, error) {
 	for _, p := range parents {
 		unit := p.unit
 		if db.Cache.IsCached(unit) {
-			value, ok, err := db.Cache.Lookup(unit)
+			value, ok, err := db.Cache.LookupSnap(unit, q.Snap.Epoch())
 			if err != nil {
 				return nil, err
 			}
@@ -91,12 +92,12 @@ func (s smart) Retrieve(db *workload.DB, q Query) (*Result, error) {
 		if mx, ok := sorted.Max(); ok {
 			finish = rel.Tree.AttachChainPrefetch(it, mx)
 		}
-		err = query.MergeJoin(db.Obs, sorted.Iter(), treeKeyedIter{it}, func(_ int64, payload []byte) (bool, error) {
+		err = query.MergeJoin(db.Obs, sorted.Iter(), treeKeyedIter{it}, func(key int64, payload []byte) (bool, error) {
 			v, err := tuple.DecodeField(db.ChildSchema, payload, q.AttrIdx)
 			if err != nil {
 				return false, err
 			}
-			res.Values = append(res.Values, v.Int)
+			res.Values = append(res.Values, overlayInt(q.Snap, object.NewOID(rel.ID, key), q.AttrIdx, v.Int))
 			return true, nil
 		})
 		finish()

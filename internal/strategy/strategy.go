@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 
+	"corep/internal/txn"
 	"corep/internal/workload"
 )
 
@@ -80,6 +81,13 @@ func (k Kind) String() string {
 type Query struct {
 	Lo, Hi  int64
 	AttrIdx int
+
+	// Snap, when non-nil, is the versioned-serving snapshot this
+	// retrieve reads at: projected ret1 values are overlaid with the
+	// newest version at or under its epoch, and cache traffic carries
+	// the epoch for watermark checks. Nil — every single-threaded and
+	// latched path — reads the base layout exactly as before.
+	Snap *txn.Snapshot
 }
 
 // NumTop returns the number of parents the query selects.

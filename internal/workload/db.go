@@ -17,6 +17,7 @@ import (
 	"corep/internal/obs"
 	"corep/internal/storage"
 	"corep/internal/tuple"
+	"corep/internal/txn"
 )
 
 // Field indices shared by ParentRel and ChildRel (after the key):
@@ -67,12 +68,22 @@ type DB struct {
 
 	// Latch is the database-level read/write latch for concurrent serving
 	// (harness.Serve): retrieves hold it shared, updates exclusive. The
-	// single-client harness never takes it. See DESIGN.md §Concurrency.
+	// single-client harness never takes it, and versioned serving
+	// (Versions != nil) retires it entirely. See DESIGN.md §Concurrency
+	// and §11.
 	Latch sync.RWMutex
+
+	// Versions, when non-nil, is the epoch-stamped version layer: every
+	// strategy's Update installs versions here instead of writing base
+	// pages, and retrieves overlay a pinned snapshot epoch. Nil (the
+	// default) keeps the in-place single-writer paths bit-identical.
+	// Installed by EnableVersioning; folded back by DrainVersions.
+	Versions *txn.Store
 
 	childByRelID map[uint16]*catalog.Relation
 	childCount   map[uint16]int
 	rng          *rand.Rand
+	zipf         map[int]*zipfTable // per-range draw tables for Cfg.ZipfTheta
 }
 
 // AttachObs wires an observability configuration to this database: the
@@ -220,6 +231,22 @@ func (db *DB) Close() {
 	pf := db.Pool.Prefetcher()
 	db.Pool.SetPrefetcher(nil)
 	pf.Close()
+}
+
+// EnableVersioning installs the version store, switching every
+// strategy's Update path from in-place base writes to epoch-published
+// versions (see internal/txn). Idempotent. Call before starting
+// concurrent clients; fold the versions back with DrainVersions once
+// they have quiesced.
+func (db *DB) EnableVersioning() {
+	if db.Versions == nil {
+		db.Versions = txn.New(0)
+		// Publish an empty bootstrap epoch so every versioned snapshot
+		// carries epoch ≥ 1: the cache's watermark API reserves epoch 0
+		// as the "unversioned caller" sentinel (LookupSnap(u, 0) is the
+		// historic Lookup), and a genuine snapshot must never alias it.
+		db.Versions.BeginUpdate(nil).Commit(nil)
+	}
 }
 
 // ChildByRelID resolves a child relation from an OID's relation id.

@@ -2,6 +2,8 @@ package workload
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 
 	"corep/internal/object"
 	"corep/internal/tuple"
@@ -70,7 +72,13 @@ func (db *DB) GenMixedSequence(numRetrieves int, prUpdate float64, numTops []int
 		}
 		lo := int64(0)
 		if db.Cfg.NumParents > numTop {
-			lo = db.rng.Int63n(int64(db.Cfg.NumParents - numTop + 1))
+			// θ = 0 must take the exact historic Int63n call so existing
+			// sequences (and every figure cell) are bit-identical.
+			if db.Cfg.ZipfTheta > 0 {
+				lo = db.zipfDraw(db.Cfg.NumParents - numTop + 1)
+			} else {
+				lo = db.rng.Int63n(int64(db.Cfg.NumParents - numTop + 1))
+			}
 		}
 		ops = append(ops, Op{
 			Kind:    OpRetrieve,
@@ -86,10 +94,20 @@ func (db *DB) GenMixedSequence(numRetrieves int, prUpdate float64, numTops []int
 	return ops
 }
 
-// genUpdate picks UpdateBatch random ChildRel tuples and new ret1 values.
+// genUpdate picks UpdateBatch random ChildRel tuples and new ret1
+// values. With ZipfTheta > 0, each target is a member of a zipf-hot
+// parent's unit instead of a uniform child — updates then collide with
+// the skewed retrieve ranges on the same subobjects, which is the
+// contention the -txn sweep measures.
 func (db *DB) genUpdate() Op {
 	op := Op{Kind: OpUpdate}
 	for i := 0; i < db.Cfg.UpdateBatch; i++ {
+		if db.Cfg.ZipfTheta > 0 {
+			unit := db.UnitOf(db.zipfDraw(db.Cfg.NumParents))
+			op.Targets = append(op.Targets, unit[db.rng.Intn(len(unit))])
+			op.NewRet1 = append(op.NewRet1, db.rng.Int63n(1<<30))
+			continue
+		}
 		rel := db.Children[db.rng.Intn(len(db.Children))]
 		n := db.childCount[rel.ID]
 		if n == 0 {
@@ -99,6 +117,45 @@ func (db *DB) genUpdate() Op {
 		op.NewRet1 = append(op.NewRet1, db.rng.Int63n(1<<30))
 	}
 	return op
+}
+
+// zipfTable is a bounded generalized-zipf sampler: cum[i] holds the
+// prefix sum of 1/(i+1)^θ, so a uniform draw binary-searched into cum
+// selects value i with probability proportional to 1/(i+1)^θ.
+// (math/rand.Zipf requires s > 1; the contention literature sweeps
+// θ ∈ [0, 1], so we build our own table.)
+type zipfTable struct {
+	cum []float64
+}
+
+func newZipfTable(n int, theta float64) *zipfTable {
+	cum := make([]float64, n)
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += 1 / math.Pow(float64(i+1), theta)
+		cum[i] = s
+	}
+	return &zipfTable{cum: cum}
+}
+
+func (z *zipfTable) draw(rng *rand.Rand) int64 {
+	r := rng.Float64() * z.cum[len(z.cum)-1]
+	return int64(sort.SearchFloat64s(z.cum, r))
+}
+
+// zipfDraw samples from [0, n) with the config's skew, caching one
+// table per distinct range (sequence generation is single-threaded on
+// the DB's rng, so the cache needs no lock).
+func (db *DB) zipfDraw(n int) int64 {
+	if db.zipf == nil {
+		db.zipf = make(map[int]*zipfTable)
+	}
+	t, ok := db.zipf[n]
+	if !ok {
+		t = newZipfTable(n, db.Cfg.ZipfTheta)
+		db.zipf[n] = t
+	}
+	return t.draw(db.rng)
 }
 
 // ApplyUpdateBase applies an update op to the base layout (ChildRel
@@ -128,6 +185,46 @@ func (db *DB) ApplyUpdateBase(op Op) error {
 		}
 	}
 	return nil
+}
+
+// ApplyUpdateVersioned applies an update op through the version store
+// instead of the base layout: targets are validated, staged, and
+// published as one epoch, with the per-stripe write latches held from
+// BeginUpdate through Commit. mark (optional) runs inside the publish
+// critical section — the dfscache strategy advances its invalidation
+// watermarks there. No base page is written, so concurrent snapshot
+// readers never race a B-tree mutation; DrainVersions folds the values
+// back once serving quiesces.
+func (db *DB) ApplyUpdateVersioned(op Op, mark func(epoch uint64)) error {
+	u := db.Versions.BeginUpdate(op.Targets)
+	for i, oid := range op.Targets {
+		if _, err := db.ChildByRelID(oid.Rel()); err != nil {
+			u.Abort()
+			return err
+		}
+		u.Stage(oid, op.NewRet1[i])
+	}
+	u.Commit(mark)
+	return nil
+}
+
+// DrainVersions folds every pending version back into the base layout:
+// the newest value per object, ascending OID order, each replayed as a
+// one-target update op through apply (normally the strategy's own
+// Update, so each layout reuses its exact in-place semantics). The
+// store is detached for the duration so apply's updates write through
+// to base pages rather than re-versioning. Callers must have quiesced
+// concurrent use first.
+func (db *DB) DrainVersions(apply func(Op) error) (int, error) {
+	vs := db.Versions
+	if vs == nil {
+		return 0, nil
+	}
+	db.Versions = nil
+	defer func() { db.Versions = vs }()
+	return vs.Drain(func(oid object.OID, val int64) error {
+		return apply(Op{Kind: OpUpdate, Targets: []object.OID{oid}, NewRet1: []int64{val}})
+	})
 }
 
 // ApplyUpdateCluster applies an update op to the clustered layout:
