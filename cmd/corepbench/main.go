@@ -68,6 +68,14 @@ func run() int {
 		chaosOut      = flag.String("chaos-out", "BENCH_chaos.json", "where -chaos writes its JSON result")
 		chaosUpdaters = flag.Int("chaos-updaters", 0, "with -chaos: also hammer the versioned store with this many concurrent updaters (torn/lost-version audit)")
 
+		crash      = flag.Bool("crash", false, "run the kill-and-reopen crash-chaos sweep and exit (nonzero exit on any violation)")
+		crashSeeds = flag.Int("crash-seeds", 0, "kill schedules per strategy for -crash (default 50)")
+		crashOut   = flag.String("crash-out", "BENCH_crash.json", "where -crash writes its JSON result")
+
+		walMode    = flag.Bool("wal", false, "run the WAL group-commit sweep and exit (nonzero exit unless fsyncs/commit strictly decreases with clients)")
+		walOut     = flag.String("wal-out", "BENCH_wal.json", "where -wal writes its JSON result")
+		walClients = flag.String("wal-clients", "", "client counts for -wal, comma-separated (default 1,2,4,8,16)")
+
 		txnMode     = flag.Bool("txn", false, "run the versioned-vs-latched write-contention sweep and exit, writes BENCH_txn.json")
 		txnOut      = flag.String("txn-out", "BENCH_txn.json", "where -txn writes its JSON result")
 		txnStrategy = flag.String("txn-strategy", "DFSCACHE", "strategy for -txn")
@@ -270,6 +278,99 @@ func run() int {
 			}
 		}
 		if len(viol) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	if *crash {
+		cfg := harness.DefaultCrashConfig()
+		if *crashSeeds > 0 {
+			cfg.Schedules = *crashSeeds
+		}
+		if *seed != 1 {
+			cfg.Seed = *seed
+		}
+		fmt.Printf("running crash-chaos sweep (%d strategies × %d kill schedules, seed base %d)...\n",
+			len(cfg.Strategies), cfg.Schedules, cfg.Seed)
+		start := time.Now()
+		bench, err := harness.RunCrashChaos(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crash: %v\n", err)
+			return 1
+		}
+		for _, s := range bench.Strategies {
+			var acked, replayed, discarded, rollbacks, midCommit, cleanErrs, rows int
+			for _, r := range s.Runs {
+				acked += r.Acked
+				replayed += r.ReplayedCommits
+				discarded += r.DiscardedRecords
+				rollbacks += r.Rollbacks
+				cleanErrs += r.CleanErrors
+				rows += r.RowsCompared
+				if r.MidCommit {
+					midCommit++
+				}
+			}
+			fmt.Printf("  %-16s acked=%-5d replayed=%-5d discarded=%-4d mid_commit=%-3d rollbacks=%-3d clean_errors=%-3d rows_checked=%d\n",
+				s.Strategy, acked, replayed, discarded, midCommit, rollbacks, cleanErrs, rows)
+		}
+		viol := bench.AllViolations()
+		for _, v := range viol {
+			fmt.Fprintf(os.Stderr, "crash: VIOLATION %s\n", v)
+		}
+		fmt.Printf("  %d violation(s) in %s\n", len(viol), time.Since(start).Round(time.Millisecond))
+		f, err := os.Create(*crashOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crash: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "crash: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *crashOut)
+		if len(viol) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	if *walMode {
+		cfg := harness.DefaultWALSweepConfig()
+		if *walClients != "" {
+			counts, err := parseInts(*walClients)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -wal-clients: %v\n", err)
+				return 2
+			}
+			cfg.Clients = counts
+		}
+		fmt.Printf("running WAL group-commit sweep (clients=%v, batches=%v, %d commits/client, fsync=%s)...\n",
+			cfg.Clients, cfg.Batches, cfg.CommitsPerClient, cfg.SyncDelay)
+		sweep, err := harness.RunWALSweep(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wal: %v\n", err)
+			return 1
+		}
+		for _, c := range sweep.Cells {
+			fmt.Printf("  c%-3d b%-2d commits=%-5d fsyncs=%-5d fsyncs/commit=%-6.3f group=%-6.2f max_group=%-3d commit_qps=%.0f\n",
+				c.Clients, c.Batch, c.Commits, c.Fsyncs, c.FsyncsPerCommit, c.GroupSize, c.MaxGroup, c.CommitQPS)
+		}
+		f, err := os.Create(*walOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wal: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := sweep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wal: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *walOut)
+		if err := sweep.CheckGrouping(); err != nil {
+			fmt.Fprintf(os.Stderr, "wal: group commit not amortizing: %v\n", err)
 			return 1
 		}
 		return 0

@@ -13,6 +13,7 @@
 //	retrieve (...) [where ...]   run a query
 //	\path <group-key>            retrieve (group.members.name) for one group
 //	\stats                       consolidated per-layer counters (\stats json for raw JSON)
+//	\checkpoint                  flush + sync the page file, replace the sidecar, truncate the WAL (-file only)
 //	\slow                        the retained slowest queries with attributed I/O
 //	\faults                      fault-injection and retry counters
 //	\metrics                     aggregated metrics report (with -metrics)
@@ -25,7 +26,11 @@
 // deterministic fault plan (e.g. -fault-transient 0.01) so retry and
 // degradation behavior can be explored interactively. The slow-query
 // log is on by default (-slow-n 16); -slow-threshold marks and counts
-// queries at or over a latency budget.
+// queries at or over a latency budget. -file backs the shell with an
+// on-disk page file (reopened across runs, example data loaded on first
+// use); -wal additionally write-ahead logs every commit with group
+// commit and crash recovery — kill the shell mid-write and the next
+// -file -wal start replays the log.
 package main
 
 import (
@@ -48,6 +53,9 @@ func main() {
 		metrics = flag.Bool("metrics", false, "aggregate metrics (report with \\metrics)")
 		profile = flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof on exit")
 		latency = flag.Duration("latency", 0, "simulated per-page device latency (e.g. 200us)")
+
+		file    = flag.String("file", "", "back the shell with this on-disk page file (persists across runs)")
+		walFlag = flag.Bool("wal", false, "with -file: write-ahead log every commit (group commit + crash recovery)")
 
 		slowN         = flag.Int("slow-n", 16, "slow-query log capacity (0 disables \\slow)")
 		slowThreshold = flag.Duration("slow-threshold", 0, "mark queries at or over this latency as SLO violations in \\slow")
@@ -85,10 +93,17 @@ func main() {
 		}()
 	}
 
-	db, groups, err := buildExampleDB()
+	if *walFlag && *file == "" {
+		fmt.Fprintln(os.Stderr, "-wal requires -file (the log lives next to the page file)")
+		os.Exit(1)
+	}
+	db, groups, err := openDB(*file, *walFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *file != "" {
+		defer db.Close()
 	}
 	// Versioned serving over the outside cache: \path reads pin a
 	// snapshot epoch and check cached units against per-OID commit
@@ -140,9 +155,19 @@ func main() {
 		case line == `\quit` || line == `\q`:
 			return
 		case line == `\help`:
-			fmt.Println(`retrieve (...) [where ...] | \path <key> | \stats [json] | \slow | \faults | \metrics | \quit`)
+			fmt.Println(`retrieve (...) [where ...] | \path <key> | \stats [json] | \checkpoint | \slow | \faults | \metrics | \quit`)
 		case line == `\stats` || line == `\stats json`:
 			printSnapshot(db.Snapshot(), strings.HasSuffix(line, "json"))
+		case line == `\checkpoint`:
+			if err := db.Checkpoint(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if ws := db.WALStats(); ws != nil {
+				fmt.Printf("checkpoint complete, wal truncated (%d truncation(s) this session)\n", ws.Truncates)
+			} else {
+				fmt.Println("checkpoint complete")
+			}
 		case line == `\slow`:
 			printSlow(db.SlowQueries())
 		case line == `\faults`:
@@ -185,13 +210,47 @@ func main() {
 	}
 }
 
-// buildExampleDB loads the §2 example.
-func buildExampleDB() (*corep.Database, []string, error) {
-	db := corep.NewDatabase(100)
+// openDB builds the shell's database: in-memory with the §2 example by
+// default, or backed by an on-disk page file (recovering its WAL and
+// skipping the example load when the file already holds it).
+func openDB(path string, useWAL bool) (*corep.Database, []string, error) {
+	if path == "" {
+		db := corep.NewDatabase(100)
+		groups, err := loadExample(db)
+		return db, groups, err
+	}
+	db, err := corep.OpenDatabaseFile(path, 100)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res := db.RecoveryResult(); res != nil {
+		fmt.Printf("wal: recovered %d page image(s) across %d commit(s), discarded %d torn-tail record(s)\n",
+			res.Replayed, len(res.Commits), res.DiscardedRecords)
+	}
+	if useWAL {
+		if err := db.EnableWAL(); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := db.Relation("person"); err == nil {
+		// Reopened: the example rows are already on disk.
+		return db, []string{"1=elders", "2=children", "3=cyclists"}, nil
+	}
+	groups, err := loadExample(db)
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	return db, groups, nil
+}
+
+// loadExample loads the §2 example.
+func loadExample(db *corep.Database) ([]string, error) {
 	person, err := db.CreateRelation("person",
 		corep.IntField("OID"), corep.StrField("name"), corep.IntField("age"))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	oids := map[string]corep.OID{}
 	for i, p := range []struct {
@@ -203,24 +262,24 @@ func buildExampleDB() (*corep.Database, []string, error) {
 	} {
 		oid, err := person.Insert(corep.Row{corep.Int(int64(i + 1)), corep.Str(p.name), corep.Int(p.age)})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		oids[p.name] = oid
 	}
 	cyclist, err := db.CreateRelation("cyclist",
 		corep.IntField("OID"), corep.StrField("name"))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	for i, name := range []string{"Mary", "Mike"} {
 		if _, err := cyclist.Insert(corep.Row{corep.Int(int64(i + 1)), corep.Str(name)}); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	group, err := db.CreateRelation("group",
 		corep.IntField("key"), corep.StrField("name"), corep.ChildrenField("members"))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defs := []struct {
 		key      int64
@@ -236,11 +295,11 @@ func buildExampleDB() (*corep.Database, []string, error) {
 		if _, err := group.InsertWith(
 			corep.Row{corep.Int(g.key), corep.Str(g.name), corep.Value{}},
 			map[string]corep.Children{"members": g.children}); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		names = append(names, fmt.Sprintf("%d=%s", g.key, g.name))
 	}
-	return db, names, nil
+	return names, nil
 }
 
 // isTerminal reports whether stdin looks interactive (best effort, no
@@ -278,6 +337,15 @@ func printSnapshot(snap corep.Snapshot, asJSON bool) {
 		fmt.Printf("txn:      epoch %d, %d commits (%d versions), %d aborts, %d snapshot reads, %d latch waits\n",
 			snap.Txn.Published, snap.Txn.Commits, snap.Txn.Installed,
 			snap.Txn.Aborts, snap.Txn.Snapshots, snap.Txn.Waited)
+	}
+	if snap.WAL != nil {
+		fmt.Printf("wal:      %d commits in %d fsyncs (group %.2f, max %d), %d page images, %d truncations",
+			snap.WAL.Commits, snap.WAL.Fsyncs, snap.WAL.GroupSize, snap.WAL.MaxGroup,
+			snap.WAL.PageImages, snap.WAL.Truncates)
+		if snap.WAL.RecoveryReplayed > 0 || snap.WAL.RecoveryDiscarded > 0 {
+			fmt.Printf("; recovery replayed %d, discarded %d", snap.WAL.RecoveryReplayed, snap.WAL.RecoveryDiscarded)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("faults:   %d injected over %d ops; pool retried %d, recovered %d\n",
 		snap.Faults.Injected, snap.Faults.Ops, snap.Faults.Retries, snap.Faults.Recovered)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"corep/internal/buffer"
@@ -15,6 +16,7 @@ import (
 	"corep/internal/pql"
 	"corep/internal/tuple"
 	"corep/internal/txn"
+	"corep/internal/wal"
 )
 
 // This file is the object API: a small complex-object database for user
@@ -97,6 +99,17 @@ type Database struct {
 	// the historic unversioned cache protocol.
 	txn *txn.Store
 
+	// WAL state (EnableWAL; see database_wal.go). walMu serializes
+	// captures and appends so the log sees whole commits; walSeq numbers
+	// acknowledged commits; lastMetaJSON dedups metadata records;
+	// walRecovery holds what OpenDatabaseFile's replay did.
+	wal          *wal.Log
+	walMu        sync.Mutex
+	walSeq       uint64
+	walPath      string
+	lastMetaJSON []byte
+	walRecovery  *wal.Result
+
 	// obs is the observability context (TraceTo / EnableMetrics); the
 	// zero value collects nothing.
 	obs obs.Ctx
@@ -156,6 +169,13 @@ func (d *Database) CreateRelation(name string, fields ...FieldDef) (*Relation, e
 	}
 	r := &Relation{db: d, rel: rel, schema: schema, childAttrs: childAttrs}
 	d.rels[name] = r
+	// Relation creation is a commit of its own under the WAL: the fresh
+	// root page and the metadata change must survive a crash even if no
+	// tuple is ever inserted.
+	if _, err := d.walCommit(); err != nil {
+		delete(d.rels, name)
+		return nil, err
+	}
 	return r, nil
 }
 
@@ -263,6 +283,14 @@ func (r *Relation) InsertWith(row Row, children map[string]Children) (OID, error
 	locks := []object.OID{relLockOID(r.rel.ID)}
 	u := r.db.beginTxnUpdate(locks)
 	if err := r.rel.Tree.Insert(key, rec); err != nil {
+		if u != nil {
+			u.Abort()
+		}
+		return 0, err
+	}
+	// WAL ordering: the record must be durable before the epoch
+	// publishes (walCommit is a no-op with the WAL off).
+	if _, err := r.db.walCommit(); err != nil {
 		if u != nil {
 			u.Abort()
 		}
@@ -507,6 +535,9 @@ func (d *Database) Query(src string) (qr *QueryResult, err error) {
 	sp := d.obs.Start("query.pql")
 	defer sp.End()
 	before := d.dsk.Stats().Total()
+	if err := d.walPressure(); err != nil {
+		return nil, err
+	}
 	res, err := pql.Run(d.cat, src)
 	if err != nil {
 		return nil, err

@@ -42,6 +42,15 @@ func (d *Database) EnableCache(maxUnits int) error {
 	if buckets < 16 {
 		buckets = 16
 	}
+	// The cache's hash file is derived data — rebuilt from scratch after
+	// any reopen, never replayed — so its pages are exempt from the WAL's
+	// no-steal gate. Creating the bucket directory can dirty more frames
+	// than the pool holds; with the gate left armed (and no commit to
+	// capture the frames) eviction would have no legal victim.
+	if d.pool.NoSteal() {
+		d.pool.SetNoSteal(false)
+		defer d.pool.SetNoSteal(true)
+	}
 	c, err := cache.New(d.pool, maxUnits, buckets, 1)
 	if err != nil {
 		return err
@@ -108,6 +117,13 @@ func (r *Relation) Update(key int64, row Row) error {
 		}
 		return err
 	}
+	// WAL ordering: durable record before the epoch publishes.
+	if _, err := r.db.walCommit(); err != nil {
+		if u != nil {
+			u.Abort()
+		}
+		return err
+	}
 	return r.db.commitInvalidation(u, locks)
 }
 
@@ -128,6 +144,12 @@ func decodeRowsFromCache(s *tuple.Schema, raw []byte) ([]Row, error) {
 func (r *Relation) resolveCached(key int64, attr string, epoch uint64) (*Resolved, error) {
 	if r.db.cache == nil {
 		return r.Resolve(key, attr)
+	}
+	// Cache inserts dirty hash-file pages through the shared pool; under
+	// the WAL gate those frames hold their eviction slots until captured.
+	// Drain the backlog here so a read-only stretch cannot wedge the pool.
+	if err := r.db.walPressure(); err != nil {
+		return nil, err
 	}
 	row, err := r.Get(key)
 	if err != nil {

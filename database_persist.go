@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"corep/internal/btree"
 	"corep/internal/buffer"
 	"corep/internal/catalog"
 	"corep/internal/disk"
 	"corep/internal/tuple"
+	"corep/internal/wal"
 )
 
 // File-backed persistence for the object API: the page file holds every
@@ -19,12 +21,33 @@ import (
 // reopens them. The cache is derived data and is not persisted —
 // re-enable it after reopening and it warms up again.
 //
-// Durability model: checkpoint consistency, not crash consistency.
-// Close/Checkpoint leave the file and sidecar mutually consistent; a
-// process that dies between checkpoints may leave pages newer than the
-// metadata describes (there is no write-ahead log — recovery was not
-// part of the paper's scope). Treat the last successful Checkpoint as
-// the durable state.
+// Durability model. Two regimes, chosen by whether EnableWAL was
+// called (see database_wal.go and DESIGN.md §12):
+//
+//   - WAL off (the default): checkpoint consistency. Close/Checkpoint
+//     leave the page file and sidecar mutually consistent; a process
+//     that dies between checkpoints may leave pages newer than the
+//     metadata describes, and updates since the last Checkpoint are
+//     simply gone. Treat the last successful Checkpoint as the durable
+//     state. This is the regime of the paper's experiments — none of
+//     them involve crashes — and it costs zero extra I/O.
+//
+//   - WAL on: commit consistency. Every mutation's page images and a
+//     commit record are fsynced to <path>.wal before the mutation is
+//     acknowledged; the buffer pool's no-steal gate keeps uncaptured
+//     pages off the page file. OpenDatabaseFile replays the log —
+//     committed batches are redone into the page file, a torn or
+//     uncommitted tail is discarded — so every acknowledged commit
+//     survives a kill, and a torn page-file write is healed by its
+//     logged image. Checkpoint remains the log-truncation point.
+//
+// In both regimes Checkpoint orders its writes so that a crash *during*
+// the checkpoint is safe: the page file is synced before the sidecar is
+// replaced (never a sidecar describing pages that aren't durable), the
+// sidecar is written to a temp file, fsynced, renamed into place, and
+// the directory fsynced (never a half-written sidecar at the final
+// name), and only then is the WAL truncated (the log stays the
+// authority until its effects are durable elsewhere).
 
 // metaVersion identifies the sidecar format.
 const metaVersion = 1
@@ -61,12 +84,31 @@ func OpenDatabaseFile(path string, bufferPages int) (*Database, error) {
 	}
 	pool := buffer.New(fd, bufferPages)
 	d := &Database{
-		dsk:  fd,
-		pool: pool,
-		cat:  catalog.New(pool),
-		file: fd,
-		meta: path + ".meta",
-		rels: map[string]*Relation{},
+		dsk:     fd,
+		pool:    pool,
+		cat:     catalog.New(pool),
+		file:    fd,
+		meta:    path + ".meta",
+		walPath: path + ".wal",
+		rels:    map[string]*Relation{},
+	}
+
+	// Crash recovery: a non-empty WAL means the last process died with
+	// acknowledged commits not yet checkpointed. Replay it into the page
+	// file (and sidecar) before reading either.
+	if fi, err := os.Stat(d.walPath); err == nil && fi.Size() > 0 {
+		dev, err := wal.OpenFileDevice(d.walPath)
+		if err != nil {
+			fd.Close()
+			return nil, err
+		}
+		res, err := recoverWAL(fd, dev, d.meta)
+		dev.Close()
+		if err != nil {
+			fd.Close()
+			return nil, fmt.Errorf("corep: WAL recovery of %s: %w", d.walPath, err)
+		}
+		d.walRecovery = res
 	}
 
 	raw, err := os.ReadFile(d.meta)
@@ -130,37 +172,85 @@ func (d *Database) Relations() []string {
 	return out
 }
 
-// Checkpoint flushes every dirty page and writes the metadata sidecar.
-// Only meaningful for file-backed databases.
+// Checkpoint flushes every dirty page, syncs the page file, and
+// atomically replaces the metadata sidecar — in that order, so a crash
+// mid-checkpoint can never leave a sidecar describing pages that are
+// not durable, or a torn sidecar at the final name. With the WAL on it
+// also truncates the log (last, once its effects are durable
+// elsewhere). Only meaningful for file-backed databases.
 func (d *Database) Checkpoint() error {
 	if d.file == nil {
 		return errors.New("corep: Checkpoint on an in-memory database")
 	}
+	if d.wal != nil {
+		// Unlogged frames block FlushAll; capture them first. The images
+		// are redundant with the flush below but keep the log's
+		// redo-covers-everything invariant until the truncation.
+		d.walMu.Lock()
+		err := d.walCaptureLocked()
+		d.walMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
 	if err := d.pool.FlushAll(); err != nil {
 		return err
 	}
-	m := dbMeta{Version: metaVersion}
-	for name, r := range d.rels {
-		rm := relMeta{Name: name, ID: r.rel.ID, BTree: r.rel.Tree.State()}
-		for _, f := range r.schema.Fields {
-			rm.Fields = append(rm.Fields, fieldMeta{
-				Name: f.Name, Kind: uint8(f.Kind), Width: f.Width, Child: r.childAttrs[f.Name],
-			})
-		}
-		m.Relations = append(m.Relations, rm)
+	if err := d.file.Sync(); err != nil {
+		return err
 	}
-	raw, err := json.MarshalIndent(m, "", "  ")
+	raw, err := json.MarshalIndent(d.buildMeta(), "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := d.meta + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	if err := writeFileAtomic(d.meta, raw); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, d.meta); err != nil {
+	if d.wal != nil {
+		d.walMu.Lock()
+		defer d.walMu.Unlock()
+		compact, err := d.metaJSON()
+		if err != nil {
+			return err
+		}
+		d.lastMetaJSON = compact
+		return d.wal.Truncate()
+	}
+	return nil
+}
+
+// writeFileAtomic replaces path with data crash-safely: write to a temp
+// file, fsync it, rename over path, fsync the directory (the rename
+// itself is metadata that must reach the disk).
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return d.file.Sync()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	if err := dir.Sync(); err != nil {
+		dir.Close()
+		return err
+	}
+	return dir.Close()
 }
 
 // Close checkpoints and closes a file-backed database (no-op pool drop
@@ -169,7 +259,15 @@ func (d *Database) Close() error {
 	if d.file == nil {
 		return nil
 	}
-	if err := d.Checkpoint(); err != nil {
+	err := d.Checkpoint()
+	if d.wal != nil {
+		if werr := d.wal.Close(); err == nil {
+			err = werr
+		}
+		d.wal = nil
+		d.pool.SetNoSteal(false)
+	}
+	if err != nil {
 		d.file.Close()
 		return err
 	}

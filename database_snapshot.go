@@ -56,6 +56,7 @@ type Snapshot struct {
 	Prefetch PrefetchStats `json:"prefetch"`
 	SlowLog  SlowLogStats  `json:"slow_log"`
 	Txn      *TxnStats     `json:"txn,omitempty"` // nil until EnableVersionedServing (see database_txn.go)
+	WAL      *WALStats     `json:"wal,omitempty"` // nil until EnableWAL (see database_wal.go)
 }
 
 // Snapshot returns the current consolidated counters.
@@ -86,6 +87,7 @@ func (d *Database) Snapshot() Snapshot {
 		snap.Cache = &cs
 	}
 	snap.Txn = d.TxnStats()
+	snap.WAL = d.WALStats()
 	return snap
 }
 

@@ -1,0 +1,272 @@
+package corep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"corep/internal/disk"
+	"corep/internal/wal"
+)
+
+// Write-ahead logging for the object API. EnableWAL attaches a redo log
+// (internal/wal) to a file-backed database and arms the buffer pool's
+// no-steal gate; from then on every mutation commits through walCommit:
+// the dirtied page images are captured into the log, a commit record is
+// appended, and the record is made durable (group-committed with any
+// concurrent committers) *before* the mutation publishes its epoch or
+// invalidates caches. A published commit therefore implies a durable
+// log record, and OpenDatabaseFile replays the log after a crash.
+//
+// The WAL is off by default: none of the paper's experiments (Figures
+// 3–7) involve durability, and with the gate disarmed the pool's
+// replacement decisions and I/O counts are bit-identical to a build
+// without this file.
+
+// walPressureFrac sets how full of unlogged frames the pool may get
+// between commits before a read path forces a capture. Read-side work
+// also dirties pages through the shared pool (the outside cache's hash
+// file, query temporaries); without commits to drain them they would
+// eventually leave eviction with no legal victim. A quarter of the pool
+// leaves ample victim headroom while keeping captures infrequent.
+const walPressureFrac = 4
+
+// EnableWAL attaches a write-ahead log to a file-backed database. The
+// log lives beside the page file at <path>.wal. Idempotent; returns an
+// error for in-memory databases (their disk *is* process memory — there
+// is nothing for a log to make durable).
+func (d *Database) EnableWAL() error {
+	if d.file == nil {
+		return errors.New("corep: EnableWAL on an in-memory database")
+	}
+	if d.wal != nil {
+		return nil
+	}
+	dev, err := wal.OpenFileDevice(d.walPath)
+	if err != nil {
+		return err
+	}
+	l, err := wal.Open(dev)
+	if err != nil {
+		dev.Close()
+		return err
+	}
+	return d.attachWAL(l)
+}
+
+// attachWAL wires an opened log into the commit path. Split from
+// EnableWAL so tests and the crash harness can attach a log over a
+// MemDevice.
+func (d *Database) attachWAL(l *wal.Log) error {
+	raw, err := d.metaJSON()
+	if err != nil {
+		l.Close()
+		return err
+	}
+	d.walMu.Lock()
+	d.wal = l
+	d.lastMetaJSON = raw
+	d.walMu.Unlock()
+	d.pool.SetNoSteal(true)
+	// Frames already dirty carry changes the log has never seen (pages
+	// touched between open/checkpoint and EnableWAL); mark them so the
+	// first commit captures them rather than letting eviction steal them.
+	d.pool.MarkDirtyUnlogged()
+	return nil
+}
+
+// WALStats surfaces the log's durability counters plus what the last
+// recovery did (zeros when the database opened clean).
+type WALStats struct {
+	Appends           int64   `json:"wal_appends"`
+	PageImages        int64   `json:"page_images"`
+	Commits           int64   `json:"commits"`
+	Fsyncs            int64   `json:"fsyncs"`
+	GroupSize         float64 `json:"group_size"`
+	MaxGroup          int64   `json:"max_group"`
+	Truncates         int64   `json:"truncates"`
+	RecoveryReplayed  int     `json:"recovery_replayed"`
+	RecoveryDiscarded int     `json:"recovery_discarded"`
+}
+
+// WALStats returns the log's counters, or nil when the WAL is off.
+func (d *Database) WALStats() *WALStats {
+	d.walMu.Lock()
+	l := d.wal
+	d.walMu.Unlock()
+	if l == nil && d.walRecovery == nil {
+		return nil
+	}
+	out := &WALStats{}
+	if l != nil {
+		s := l.Stats()
+		out.Appends = s.Appends
+		out.PageImages = s.PageImages
+		out.Commits = s.Commits
+		out.Fsyncs = s.Fsyncs
+		out.GroupSize = s.AvgGroup()
+		out.MaxGroup = s.MaxGroup
+		out.Truncates = s.Truncates
+	}
+	if r := d.walRecovery; r != nil {
+		out.RecoveryReplayed = r.Replayed
+		out.RecoveryDiscarded = r.DiscardedRecords
+	}
+	return out
+}
+
+// walCommit makes one mutation durable: capture every unlogged page
+// image, log the metadata if it changed (B-tree roots and sizes move
+// with inserts), append a commit record, and sync. The capture and
+// appends run under walMu — the log sees whole commits in order — but
+// the Sync runs outside it, which is the entire point: concurrent
+// committers pile their commit records into the log and one fsync
+// (issued by whichever caller reaches the device first) acknowledges
+// them all. Callers must invoke walCommit after the in-place tree write
+// and before commitInvalidation, so that a published epoch implies a
+// durable record.
+//
+// Returns the commit's sequence number for harness bookkeeping; seq 0
+// with a nil error means the WAL is off.
+func (d *Database) walCommit() (uint64, error) {
+	d.walMu.Lock()
+	if d.wal == nil {
+		d.walMu.Unlock()
+		return 0, nil
+	}
+	if err := d.walCaptureLocked(); err != nil {
+		d.walMu.Unlock()
+		return 0, err
+	}
+	raw, err := d.metaJSON()
+	if err != nil {
+		d.walMu.Unlock()
+		return 0, err
+	}
+	if !bytes.Equal(raw, d.lastMetaJSON) {
+		if _, err := d.wal.AppendMeta(raw); err != nil {
+			d.walMu.Unlock()
+			return 0, err
+		}
+		d.lastMetaJSON = raw
+	}
+	d.walSeq++
+	seq := d.walSeq
+	lsn, err := d.wal.AppendCommit(seq)
+	l := d.wal
+	d.walMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Sync(lsn); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// walCaptureLocked feeds every unlogged frame's image to the log.
+// Caller holds walMu.
+func (d *Database) walCaptureLocked() error {
+	return d.pool.CollectUnlogged(func(id disk.PageID, img []byte) error {
+		_, err := d.wal.AppendPage(id, img)
+		return err
+	})
+}
+
+// walPressure relieves the read paths: with the gate armed, cache and
+// query-temporary pages dirtied between commits accumulate unlogged
+// marks, and past the limit a capture (no commit record, no fsync)
+// drains them so eviction always has a victim. The images ride along
+// with the next commit's fsync; if the process dies first they are
+// discarded by recovery's atomic-per-commit replay, which is exactly
+// right — they were derived data of an unacknowledged state.
+func (d *Database) walPressure() error {
+	if d.wal == nil {
+		return nil
+	}
+	limit := d.pool.Capacity() / walPressureFrac
+	if limit < 1 {
+		limit = 1
+	}
+	if d.pool.UnloggedCount() < limit {
+		return nil
+	}
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	if d.wal == nil {
+		return nil
+	}
+	return d.walCaptureLocked()
+}
+
+// metaJSON marshals the sidecar metadata compactly with relations in
+// name order, so equal states yield equal bytes and walCommit's
+// changed-check never false-positives on map iteration order.
+func (d *Database) metaJSON() ([]byte, error) {
+	m := d.buildMeta()
+	return json.Marshal(m)
+}
+
+// buildMeta assembles the sidecar metadata struct, relations sorted by
+// name.
+func (d *Database) buildMeta() dbMeta {
+	m := dbMeta{Version: metaVersion}
+	names := make([]string, 0, len(d.rels))
+	for name := range d.rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := d.rels[name]
+		rm := relMeta{Name: name, ID: r.rel.ID, BTree: r.rel.Tree.State()}
+		for _, f := range r.schema.Fields {
+			rm.Fields = append(rm.Fields, fieldMeta{
+				Name: f.Name, Kind: uint8(f.Kind), Width: f.Width, Child: r.childAttrs[f.Name],
+			})
+		}
+		m.Relations = append(m.Relations, rm)
+	}
+	return m
+}
+
+// recoverWAL replays the redo log into the page file during
+// OpenDatabaseFile. Committed page images are installed with
+// fd.Restore, the page file is synced, the last committed metadata
+// record (if any) supersedes the sidecar, and only then is the log
+// truncated — the order matters: the log must remain the authority
+// until its effects are durable elsewhere.
+func recoverWAL(fd *disk.FileDisk, dev wal.Device, metaPath string) (*wal.Result, error) {
+	res, err := wal.Recover(dev, fd.Restore)
+	if err != nil {
+		return nil, err
+	}
+	if res.Replayed > 0 {
+		if err := fd.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	if res.Meta != nil {
+		// Re-indent for the sidecar's on-disk convention.
+		var m dbMeta
+		if err := json.Unmarshal(res.Meta, &m); err != nil {
+			return nil, fmt.Errorf("corep: corrupt metadata record in WAL: %w", err)
+		}
+		raw, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := writeFileAtomic(metaPath, raw); err != nil {
+			return nil, err
+		}
+	}
+	if err := dev.Truncate(0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RecoveryResult reports what OpenDatabaseFile's WAL replay did, or nil
+// if the database opened without a log to replay.
+func (d *Database) RecoveryResult() *wal.Result { return d.walRecovery }

@@ -36,6 +36,7 @@ var higherBetter = map[string]bool{
 	"qps":          true,
 	"retrieve_qps": true,
 	"update_qps":   true,
+	"commit_qps":   true,
 	"speedup":      true,
 	"slo_met":      true,
 }

@@ -130,7 +130,14 @@ type frame struct {
 	// flushing the resident set (LRU sequential flooding). A normal Pin
 	// hit clears the mark — genuinely reused pages become hot.
 	scan bool
-	lru  *list.Element // position in the replacement list; nil while pinned
+	// unlogged marks a frame dirtied while the WAL no-steal gate is on
+	// whose page image has not yet been captured into the log. Such a
+	// frame must not be written to the page file (eviction skips it,
+	// FlushAll/Invalidate refuse it): the write-ahead rule is that the
+	// log record covering a change is durable before the page is. The
+	// mark clears when CollectUnlogged hands the image to the log.
+	unlogged bool
+	lru      *list.Element // position in the replacement list; nil while pinned
 }
 
 // shard is one stripe of the pool: a fixed-capacity frame table with its
@@ -196,6 +203,13 @@ type Pool struct {
 	// pref is the attached asynchronous prefetcher, nil when prefetch is
 	// disabled (the default — the paper's synchronous access pattern).
 	pref atomic.Pointer[Prefetcher]
+
+	// noSteal arms the WAL write-ahead gate: frames dirtied while it is
+	// on are marked unlogged and pinned to memory (not evictable, not
+	// flushable) until CollectUnlogged captures their images for the
+	// log. Off (the default) the pool behaves bit-identically to the
+	// pre-WAL pool. See SetNoSteal.
+	noSteal atomic.Bool
 }
 
 // New creates a single-shard LRU pool of capacity pages over dm.
@@ -476,6 +490,7 @@ func (p *Pool) NewPage() (disk.PageID, []byte, error) {
 		f.buf[i] = 0
 	}
 	f.id, f.pins, f.dirty, f.scan = id, 1, true, false
+	f.unlogged = p.noSteal.Load() // a fresh page is dirty by definition
 	s.frames[id] = f
 	return id, f.buf, nil
 }
@@ -490,6 +505,9 @@ func (p *Pool) Unpin(id disk.PageID, dirty bool) {
 		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", id))
 	}
 	f.dirty = f.dirty || dirty
+	if dirty && p.noSteal.Load() {
+		f.unlogged = true
+	}
 	f.pins--
 	if f.pins == 0 {
 		if f.scan {
@@ -510,6 +528,10 @@ func (p *Pool) FlushAll() error {
 		s.mu.Lock()
 		for _, f := range s.frames {
 			if f.dirty {
+				if f.unlogged {
+					s.mu.Unlock()
+					return fmt.Errorf("buffer: flush of page %d before its log capture (run CollectUnlogged first)", f.id)
+				}
 				if err := s.writePage(f.id, f.buf); err != nil {
 					s.mu.Unlock()
 					return err
@@ -534,6 +556,10 @@ func (p *Pool) Invalidate() error {
 				return fmt.Errorf("buffer: invalidate with pinned page %d", id)
 			}
 			if f.dirty {
+				if f.unlogged {
+					s.mu.Unlock()
+					return fmt.Errorf("buffer: invalidate of page %d before its log capture (run CollectUnlogged first)", id)
+				}
 				if err := s.writePage(f.id, f.buf); err != nil {
 					s.mu.Unlock()
 					return err
@@ -582,7 +608,7 @@ func (s *shard) victimLocked() (*frame, error) {
 	}
 	el := s.chooseVictimLocked()
 	if el == nil {
-		return nil, fmt.Errorf("buffer: all %d frames of shard pinned", s.cap)
+		return nil, fmt.Errorf("buffer: all %d frames of shard pinned or awaiting log capture", s.cap)
 	}
 	f := el.Value.(*frame)
 	// Write back before detaching: if the write fails, the dirty frame
@@ -601,7 +627,11 @@ func (s *shard) victimLocked() (*frame, error) {
 }
 
 // chooseVictimLocked picks the element to evict per the policy; the
-// list holds only unpinned frames.
+// list holds only unpinned frames. Unlogged frames (dirtied under the
+// WAL no-steal gate, image not yet captured) are never chosen: writing
+// them back would put a page on disk ahead of its log record. With the
+// gate off no frame is unlogged and every policy behaves — RNG stream
+// included — exactly as it did before the gate existed.
 func (s *shard) chooseVictimLocked() *list.Element {
 	n := s.lru.Len()
 	if n == 0 {
@@ -610,25 +640,44 @@ func (s *shard) chooseVictimLocked() *list.Element {
 	switch s.policy {
 	case Clock:
 		// Second chance: rotate referenced frames to the back, clearing
-		// their bit; bounded by one full sweep plus one.
-		for i := 0; i <= n; i++ {
+		// their bit; unlogged frames rotate without losing their bit.
+		// Bounded by two full sweeps, then a linear fallback.
+		for i := 0; i <= 2*n; i++ {
 			el := s.lru.Front()
 			f := el.Value.(*frame)
+			if f.unlogged {
+				s.lru.MoveToBack(el)
+				continue
+			}
 			if !f.ref {
 				return el
 			}
 			f.ref = false
 			s.lru.MoveToBack(el)
 		}
-		return s.lru.Front()
-	case Random:
-		k := s.rng.Intn(n)
-		el := s.lru.Front()
-		for i := 0; i < k; i++ {
-			el = el.Next()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			if !el.Value.(*frame).unlogged {
+				return el
+			}
 		}
-		return el
+		return nil
+	case Random:
+		eligible := make([]*list.Element, 0, n)
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			if !el.Value.(*frame).unlogged {
+				eligible = append(eligible, el)
+			}
+		}
+		if len(eligible) == 0 {
+			return nil
+		}
+		return eligible[s.rng.Intn(len(eligible))]
 	default: // LRU
-		return s.lru.Front()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			if !el.Value.(*frame).unlogged {
+				return el
+			}
+		}
+		return nil
 	}
 }

@@ -270,6 +270,27 @@ func (d *Sim) NumPages() int {
 	return len(d.pages)
 }
 
+// Restore installs a full page image during WAL recovery, extending
+// the page space if id was allocated after the last checkpoint. It
+// bypasses fault injection and the I/O counters: recovery writes are
+// bookkeeping, not workload traffic.
+func (d *Sim) Restore(id PageID, img []byte) error {
+	if len(img) != PageSize {
+		return ErrBadPageSize
+	}
+	if id == InvalidPageID {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for int(id) > len(d.pages) {
+		d.pages = append(d.pages, make([]byte, PageSize))
+		d.allocs.Add(1)
+	}
+	copy(d.pages[id-1], img)
+	return nil
+}
+
 // page returns the backing slice for id, which must be allocated.
 func (d *Sim) page(id PageID) ([]byte, error) {
 	if id == InvalidPageID || int(id) > len(d.pages) {

@@ -138,6 +138,30 @@ func (d *FileDisk) NumPages() int {
 	return d.pages
 }
 
+// Restore installs a full page image during WAL recovery, extending
+// the file (zero-filling any gap) if id was allocated after the last
+// checkpoint. It bypasses fault injection and the I/O counters:
+// recovery writes are bookkeeping, not workload traffic.
+func (d *FileDisk) Restore(id PageID, img []byte) error {
+	if len(img) != PageSize {
+		return ErrBadPageSize
+	}
+	if id == InvalidPageID {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.f.WriteAt(img, int64(id-1)*PageSize); err != nil {
+		return err
+	}
+	if int(id) > d.pages {
+		// WriteAt zero-fills the seek gap on every POSIX filesystem, so
+		// pages between the old end and id read as fresh allocations.
+		d.pages = int(id)
+	}
+	return nil
+}
+
 // Sync flushes the file to stable storage.
 func (d *FileDisk) Sync() error {
 	d.mu.Lock()

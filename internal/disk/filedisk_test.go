@@ -143,3 +143,102 @@ func TestFileDiskStats(t *testing.T) {
 func truncate(path string, n int64) error {
 	return os.Truncate(path, n)
 }
+
+// TestTornWriteSurvivesReopen proves the crash-side of the torn-write
+// model: the half-written page is really on the medium, so a process
+// that dies before rewriting it hands the tear to its successor. The
+// in-process heal-by-rewrite path (the pool keeping the frame dirty
+// and resident) cannot save a reopened process — that is the WAL's
+// job. The detection signal after reopen is the mixed content itself:
+// half new prefix, half old suffix, which no complete write produces.
+func TestTornWriteSurvivesReopen(t *testing.T) {
+	d, path := openTemp(t)
+	id, err := d.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := make([]byte, PageSize)
+	for i := range old {
+		old[i] = 0x0D
+	}
+	if err := d.Write(id, old); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFault(func(op string, _ PageID) error {
+		if op == "write" {
+			return ErrTornWrite
+		}
+		return nil
+	})
+	next := make([]byte, PageSize)
+	for i := range next {
+		next[i] = 0xD0
+	}
+	if err := d.Write(id, next); !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("want torn write error, got %v", err)
+	}
+	// Process dies: no heal-by-rewrite, just close and reopen.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	buf := make([]byte, PageSize)
+	if err := d2.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < TornPrefix; i++ {
+		if buf[i] != 0xD0 {
+			t.Fatalf("byte %d = %x, want the torn write's new prefix", i, buf[i])
+		}
+	}
+	for i := TornPrefix; i < PageSize; i++ {
+		if buf[i] != 0x0D {
+			t.Fatalf("byte %d = %x, want the old suffix", i, buf[i])
+		}
+	}
+	// Detected: the page is neither fully old nor fully new — and a WAL
+	// replay of the logged full image heals it in place.
+	if err := d2.Restore(id, next); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if buf[i] != 0xD0 {
+			t.Fatalf("byte %d = %x after Restore, want full new image", i, buf[i])
+		}
+	}
+}
+
+func TestRestoreExtendsPageSpace(t *testing.T) {
+	d, _ := openTemp(t)
+	defer d.Close()
+	img := make([]byte, PageSize)
+	img[0] = 0x42
+	// Restore a page well past the current end: the gap zero-fills and
+	// NumPages covers it, matching a post-checkpoint allocation replay.
+	if err := d.Restore(3, img); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.NumPages(); n != 3 {
+		t.Fatalf("NumPages = %d, want 3", n)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.Read(1, buf); err != nil || buf[0] != 0 {
+		t.Fatalf("gap page not zeroed: %x (%v)", buf[0], err)
+	}
+	if err := d.Read(3, buf); err != nil || buf[0] != 0x42 {
+		t.Fatalf("restored page wrong: %x (%v)", buf[0], err)
+	}
+	if err := d.Restore(0, img); err == nil {
+		t.Fatal("restore of InvalidPageID accepted")
+	}
+	if err := d.Restore(1, img[:10]); err == nil {
+		t.Fatal("restore of short buffer accepted")
+	}
+}

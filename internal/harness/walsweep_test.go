@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWALSweepGrouping(t *testing.T) {
+	cfg := WALSweepConfig{
+		Clients:          []int{1, 4, 16},
+		Batches:          []int{1},
+		CommitsPerClient: 150,
+		SyncDelay:        200 * time.Microsecond,
+	}
+	sweep, err := RunWALSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.CheckGrouping(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sweep.Cells {
+		if c.Clients == 1 && c.FsyncsPerCommit != 1.0 {
+			t.Errorf("single committer should pay one fsync per commit, got %.3f", c.FsyncsPerCommit)
+		}
+		if c.CommitQPS <= 0 {
+			t.Errorf("c%d_b%d: nonpositive commit_qps", c.Clients, c.Batch)
+		}
+	}
+	if got := len(sweep.BenchCells()); got != 3 {
+		t.Fatalf("expected 3 bench cells, got %d", got)
+	}
+}

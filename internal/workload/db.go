@@ -73,6 +73,11 @@ type DB struct {
 	// and §11.
 	Latch sync.RWMutex
 
+	// WAL, when non-nil, is the attached write-ahead log (EnableWAL in
+	// wal.go): the crash-chaos harness commits through it and severs the
+	// database with CrashAndRecover.
+	WAL *WALState
+
 	// Versions, when non-nil, is the epoch-stamped version layer: every
 	// strategy's Update installs versions here instead of writing base
 	// pages, and retrieves overlay a pinned snapshot epoch. Nil (the

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"corep/internal/cache"
+	"corep/internal/disk"
+	"corep/internal/wal"
+)
+
+// WAL support for generated databases: the crash-chaos harness drives a
+// workload DB with the no-steal gate armed and an in-memory log device
+// whose sync watermark models what a process kill leaves behind. The
+// workload layer logs page images only — no metadata records — because
+// a workload database's structure is deterministic in its Config:
+// schedules contain retrieves and updates, never inserts, so B-tree
+// roots don't move and rebuilding from the same Config re-derives
+// everything the sidecar would have said.
+
+// WALState is the log attached by EnableWAL.
+type WALState struct {
+	mu  sync.Mutex
+	log *wal.Log
+	dev *wal.MemDevice
+	seq uint64
+}
+
+// Log exposes the attached log (stats, direct appends in tests).
+func (w *WALState) Log() *wal.Log { return w.log }
+
+// Device exposes the in-memory log device (crash controls).
+func (w *WALState) Device() *wal.MemDevice { return w.dev }
+
+// EnableWAL attaches an in-memory write-ahead log and arms the buffer
+// pool's no-steal gate. syncDelay is the simulated fsync latency (the
+// knob that makes group commit measurable). Call after Build: the
+// build's ResetCold leaves the pool clean, so the log starts with
+// nothing owed to it.
+func (db *DB) EnableWAL(syncDelay time.Duration) error {
+	if db.WAL != nil {
+		return fmt.Errorf("workload: WAL already enabled")
+	}
+	dev := wal.NewMemDevice(syncDelay)
+	l, err := wal.Open(dev)
+	if err != nil {
+		return err
+	}
+	db.WAL = &WALState{log: l, dev: dev}
+	db.Pool.SetNoSteal(true)
+	db.Pool.MarkDirtyUnlogged()
+	return nil
+}
+
+// WALCommit makes the current mutation durable: capture every unlogged
+// page image, append a commit record, sync (group-committed across
+// concurrent callers). Returns the commit's sequence number. The
+// capture and appends are serialized under the WAL mutex; the sync runs
+// outside it so concurrent committers share fsyncs.
+func (db *DB) WALCommit() (uint64, error) {
+	w := db.WAL
+	if w == nil {
+		return 0, nil
+	}
+	w.mu.Lock()
+	if err := db.walCaptureLocked(); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	w.seq++
+	seq := w.seq
+	lsn, err := w.log.AppendCommit(seq)
+	w.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := w.log.Sync(lsn); err != nil {
+		return seq, err
+	}
+	return seq, nil
+}
+
+func (db *DB) walCaptureLocked() error {
+	return db.Pool.CollectUnlogged(func(id disk.PageID, img []byte) error {
+		_, err := db.WAL.log.AppendPage(id, img)
+		return err
+	})
+}
+
+// WALRelieve captures unlogged frames without a commit record when the
+// backlog nears the pool's capacity — read paths dirty cache pages that
+// no commit will otherwise drain. The captured images ride with the
+// next commit's fsync; discarded by recovery if no commit follows.
+func (db *DB) WALRelieve() error {
+	w := db.WAL
+	if w == nil {
+		return nil
+	}
+	if db.Pool.UnloggedCount() < db.Pool.Capacity()/4 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return db.walCaptureLocked()
+}
+
+// WALRollback undoes an uncommitted mutation after a failed update:
+// drop every frame (the no-steal gate guarantees uncommitted changes
+// live only in frames) and redo the log's committed batches into the
+// simulated disk, leaving exactly the last committed state. The cache
+// is rebuilt empty — its hash file died with the frames.
+func (db *DB) WALRollback() error {
+	w := db.WAL
+	if w == nil {
+		return fmt.Errorf("workload: rollback without a WAL")
+	}
+	db.Pool.Prefetcher().Drain()
+	if err := db.Pool.DropAll(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := wal.Recover(w.dev, db.Disk.Restore); err != nil {
+		return err
+	}
+	return db.rebuildCache()
+}
+
+// CrashAndRecover simulates a process kill and the subsequent reopen.
+// The pool's frames die; the disk keeps whatever was written to it
+// (including torn pages); the log survives as its synced prefix plus
+// keepUnsynced bytes of the unsynced tail — the OS page cache's partial
+// mercy, possibly cutting mid-record. Committed batches in the
+// surviving log are redone into the disk; the gate is disarmed (the
+// post-crash phase is verification, not logged operation) and the cache
+// rebuilt empty. Returns what recovery replayed and discarded.
+func (db *DB) CrashAndRecover(keepUnsynced int64) (*wal.Result, error) {
+	w := db.WAL
+	if w == nil {
+		return nil, fmt.Errorf("workload: crash without a WAL")
+	}
+	db.Pool.Prefetcher().Drain()
+	if err := db.Pool.DropAll(); err != nil {
+		return nil, err
+	}
+	surviving := w.dev.Crash(keepUnsynced)
+	res, err := wal.Recover(wal.NewMemDeviceBytes(surviving), db.Disk.Restore)
+	if err != nil {
+		return nil, err
+	}
+	db.Pool.SetNoSteal(false)
+	db.WAL = nil
+	if err := db.rebuildCache(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// rebuildCache replaces the outside cache with a fresh, empty one (same
+// sizing and seed as Build's). The old hash-file pages are orphaned on
+// the disk; nothing references them again.
+func (db *DB) rebuildCache() error {
+	if db.Cfg.CacheUnits <= 0 {
+		return nil
+	}
+	// Bucket-directory creation dirties more frames than a small pool
+	// holds; cache pages are derived data (rebuilt empty after any
+	// crash), so they are exempt from write-ahead — disarm the no-steal
+	// gate while they are created. Only the rollback path arrives here
+	// with the gate still armed.
+	if db.Pool.NoSteal() {
+		db.Pool.SetNoSteal(false)
+		defer db.Pool.SetNoSteal(true)
+	}
+	c, err := cache.New(db.Pool, db.Cfg.CacheUnits, db.Cfg.CacheBuckets, db.Cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	c.Obs = db.Obs
+	db.Cache = c
+	return nil
+}
