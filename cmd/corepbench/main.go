@@ -84,6 +84,11 @@ func run() int {
 		txnClients  = flag.String("txn-clients", "1,2,4,8", "client counts for -txn, comma-separated")
 		txnOps      = flag.Int("txn-ops", 0, "operations per client for -txn (default 40)")
 
+		reclustMode    = flag.Bool("reclust", false, "run the online-reclustering convergence sweep and exit (nonzero exit unless io/query strictly decreases and lands on the static cell)")
+		reclustOut     = flag.String("reclust-out", "BENCH_reclust.json", "where -reclust writes its JSON result")
+		reclustRounds  = flag.Int("reclust-rounds", 0, "migration rounds for -reclust (default 6)")
+		reclustQueries = flag.Int("reclust-queries", 0, "fixed query-set size for -reclust (default 300)")
+
 		slo          = flag.Bool("slo", false, "run the tail-latency SLO serving benchmark and exit")
 		sloOut       = flag.String("slo-out", "BENCH_slo.json", "where -slo writes its JSON result")
 		sloTarget    = flag.Float64("slo-target", 0.99, "SLO quantile for -slo (0.99 = p99)")
@@ -210,6 +215,54 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("wrote %s\n", *prefetchOut)
+		if bad {
+			return 1
+		}
+		return 0
+	}
+
+	if *reclustMode {
+		cfg := harness.DefaultReclustSweepConfig()
+		if *reclustRounds > 0 {
+			cfg.MaxRounds = *reclustRounds
+		}
+		if *reclustQueries > 0 {
+			cfg.NumRetrieves = *reclustQueries
+		}
+		if *seed != 1 {
+			cfg.DB.Seed = *seed
+		}
+		fmt.Printf("running reclustering convergence sweep (parents=%d, θ=%.2g, %d queries, ≤%d rounds, seed=%d)...\n",
+			cfg.DB.NumParents, cfg.ZipfTheta, cfg.NumRetrieves, cfg.MaxRounds, cfg.DB.Seed)
+		start := time.Now()
+		sweep, err := harness.RunReclustSweep(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reclust: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  static DFSCLUST cell: %.2f io/query\n", sweep.StaticIOPerQuery)
+		for _, r := range sweep.Rounds {
+			fmt.Printf("  round %d: io/query=%-8.2f moved=%-4d migration_io=%-6d placements=%d\n",
+				r.Round, r.IOPerQuery, r.Moved, r.MigrationIO, r.Placements)
+		}
+		fmt.Printf("  %d result values checked against the no-reclust control, %d objects migrated in %s\n",
+			sweep.RowsChecked, sweep.Stats.Migrated, time.Since(start).Round(time.Millisecond))
+		bad := false
+		if err := sweep.CheckConvergence(); err != nil {
+			fmt.Fprintf(os.Stderr, "reclust: VIOLATION %v\n", err)
+			bad = true
+		}
+		f, err := os.Create(*reclustOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reclust: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := sweep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "reclust: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *reclustOut)
 		if bad {
 			return 1
 		}

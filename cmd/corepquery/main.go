@@ -12,6 +12,8 @@
 //
 //	retrieve (...) [where ...]   run a query
 //	\path <group-key>            retrieve (group.members.name) for one group
+//	\heat                        hottest units seen by the adaptive-clustering tracker
+//	\reclust                     reorganize: pack the hottest units onto shared extent pages
 //	\stats                       consolidated per-layer counters (\stats json for raw JSON)
 //	\checkpoint                  flush + sync the page file, replace the sidecar, truncate the WAL (-file only)
 //	\slow                        the retained slowest queries with attributed I/O
@@ -111,6 +113,12 @@ func main() {
 	// snapshot reads, latch waits) as queries run.
 	db.EnableCache(64)
 	db.EnableVersionedServing()
+	// Adaptive clustering: \path queries feed the heat tracker, \heat
+	// shows what it learned, \reclust packs the hottest units.
+	if err := db.EnableReclustering(0, 0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *trace {
 		db.TraceTo(os.Stderr)
 	}
@@ -155,7 +163,7 @@ func main() {
 		case line == `\quit` || line == `\q`:
 			return
 		case line == `\help`:
-			fmt.Println(`retrieve (...) [where ...] | \path <key> | \stats [json] | \checkpoint | \slow | \faults | \metrics | \quit`)
+			fmt.Println(`retrieve (...) [where ...] | \path <key> | \heat | \reclust | \stats [json] | \checkpoint | \slow | \faults | \metrics | \quit`)
 		case line == `\stats` || line == `\stats json`:
 			printSnapshot(db.Snapshot(), strings.HasSuffix(line, "json"))
 		case line == `\checkpoint`:
@@ -168,6 +176,27 @@ func main() {
 			} else {
 				fmt.Println("checkpoint complete")
 			}
+		case line == `\heat`:
+			units := db.HottestUnits(10)
+			if len(units) == 0 {
+				fmt.Println("heat table empty (run some \\path queries first)")
+				continue
+			}
+			for _, u := range units {
+				mark := ""
+				if u.Migrated {
+					mark = "  (migrated)"
+				}
+				fmt.Printf("  %-10s key=%-6d heat=%.3f%s\n", u.Relation, u.Key, u.Heat, mark)
+			}
+		case line == `\reclust`:
+			res, err := db.Reorganize(0)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("reorganized %d unit(s): %d subobject cop(ies) packed onto %d extent page(s)\n",
+				res.Units, res.Objects, res.Pages)
 		case line == `\slow`:
 			printSlow(db.SlowQueries())
 		case line == `\faults`:
@@ -346,6 +375,12 @@ func printSnapshot(snap corep.Snapshot, asJSON bool) {
 			fmt.Printf("; recovery replayed %d, discarded %d", snap.WAL.RecoveryReplayed, snap.WAL.RecoveryDiscarded)
 		}
 		fmt.Println()
+	}
+	if snap.Reclust != nil {
+		fmt.Printf("reclust:  %d units tracked (%d touches, %d evictions), %d migrations in %d batches, %d pages rewritten, %d placements (%d dropped)\n",
+			snap.Reclust.Tracked, snap.Reclust.Touches, snap.Reclust.Evictions,
+			snap.Reclust.Migrated, snap.Reclust.Batches, snap.Reclust.PagesDirty,
+			snap.Reclust.Placements, snap.Reclust.Dropped)
 	}
 	fmt.Printf("faults:   %d injected over %d ops; pool retried %d, recovered %d\n",
 		snap.Faults.Injected, snap.Faults.Ops, snap.Faults.Retries, snap.Faults.Recovered)

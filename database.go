@@ -99,6 +99,10 @@ type Database struct {
 	// the historic unversioned cache protocol.
 	txn *txn.Store
 
+	// reclust is the adaptive-clustering state (EnableReclustering; see
+	// database_reclust.go); nil keeps reads on the base rows.
+	reclust *reclustState
+
 	// WAL state (EnableWAL; see database_wal.go). walMu serializes
 	// captures and appends so the log sees whole commits; walSeq numbers
 	// acknowledged commits; lastMetaJSON dedups metadata records;
@@ -311,11 +315,17 @@ func (r *Relation) Get(key int64) (Row, error) {
 	return tuple.Decode(r.schema, rec)
 }
 
-// Fetch resolves any OID to its row.
+// Fetch resolves any OID to its row, preferring a reclustered copy
+// when adaptive clustering has placed one.
 func (d *Database) Fetch(oid OID) (Row, error) {
 	rel, err := d.cat.ByID(oid.Rel())
 	if err != nil {
 		return nil, err
+	}
+	if row, ok, err := d.fetchRedirected(oid, rel.Schema); err != nil {
+		return nil, err
+	} else if ok {
+		return row, nil
 	}
 	rec, err := rel.Tree.Get(oid.Key())
 	if err != nil {
@@ -333,6 +343,21 @@ func (d *Database) FetchBatch(oids []OID) ([]Row, error) {
 	rows := make([]Row, len(oids))
 	byRel := make(map[uint16][]int)
 	for i, oid := range oids {
+		// Reclustered members read their packed copies — one unit's
+		// members share extent pages, so the pool turns the probes into
+		// one or two page fetches.
+		if d.reclust != nil {
+			rel, err := d.cat.ByID(oid.Rel())
+			if err != nil {
+				return nil, err
+			}
+			if row, ok, err := d.fetchRedirected(oid, rel.Schema); err != nil {
+				return nil, err
+			} else if ok {
+				rows[i] = row
+				continue
+			}
+		}
 		byRel[oid.Rel()] = append(byRel[oid.Rel()], i)
 	}
 	relIDs := make([]int, 0, len(byRel))
@@ -474,6 +499,9 @@ func (d *Database) RetrievePath(relName, childrenAttr, targetAttr string, lo, hi
 			return false, rerr
 		}
 		if res.OIDs != nil {
+			// OID-represented units are what adaptive clustering can pack;
+			// feed the heat tracker so Reorganize knows what is hot.
+			d.touchHeat(object.NewOID(crel.ID, key))
 			rows, ferr := d.FetchBatch(res.OIDs)
 			if ferr != nil {
 				return false, ferr

@@ -104,6 +104,11 @@ func (r *Relation) Update(key int64, row Row) error {
 	if err != nil {
 		return err
 	}
+	// A reclustered copy must never serve stale values: retire the
+	// placement before the base row changes, so every reader falls back
+	// to the row this update rewrites (harmless if the update then
+	// fails — the base row is always correct).
+	r.db.dropPlacement(object.NewOID(r.rel.ID, key))
 	// Under versioned serving the in-place write happens while the
 	// per-object latches are held and the invalidation watermarks advance
 	// before the commit epoch publishes — snapshot readers either see the
@@ -299,6 +304,11 @@ func (d *Database) RetrievePathCached(relName, childrenAttr, targetAttr string, 
 		res, rerr := r.resolveCached(key, childrenAttr, epoch)
 		if rerr != nil {
 			return false, rerr
+		}
+		if res.Representation == object.OIDs.String() {
+			// Heat for adaptive clustering: cache hits count too — they
+			// still say this unit is what the workload wants packed.
+			d.touchHeat(object.NewOID(crel.ID, key))
 		}
 		if res.OIDs != nil {
 			for _, oid := range res.OIDs {

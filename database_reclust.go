@@ -1,0 +1,318 @@
+package corep
+
+import (
+	"errors"
+	"fmt"
+
+	"corep/internal/disk"
+	"corep/internal/heap"
+	"corep/internal/object"
+	"corep/internal/reclust"
+	"corep/internal/storage"
+	"corep/internal/tuple"
+)
+
+// This file brings adaptive clustering (DESIGN.md §13) to the object
+// API: EnableReclustering attaches a bounded, decayed heat tracker that
+// RetrievePath and RetrievePathCached feed with every OID-represented
+// unit they resolve, and Reorganize migrates the hottest units'
+// subobject rows onto shared heap extent pages. Migration is copy
+// forwarding — base rows are never moved or deleted, a placement map
+// just redirects Fetch/FetchBatch to the packed copy — so a unit whose
+// members were scattered across the relation reads back from one or
+// two extent pages instead. An in-place Update retires the target's
+// placement before touching the base row, so a copy can never go
+// stale. Placements are volatile: a reopened database starts
+// unclustered and re-learns its heat (extent pages a previous run
+// wrote become unreferenced garbage in the page file, never served).
+
+// DefaultReclustUnits is how many hot units one Reorganize call
+// processes when the caller passes no budget.
+const DefaultReclustUnits = 8
+
+// defaultHeatCap bounds the heat table when EnableReclustering gets no
+// explicit capacity.
+const defaultHeatCap = 1024
+
+// ReclustStats mirrors the reclustering counters (Snapshot.Reclust).
+type ReclustStats = reclust.Stats
+
+// reclustState is the per-database adaptive-clustering state.
+type reclustState struct {
+	heat  *reclust.Tracker
+	place *reclust.Map
+
+	extent *heap.File
+	// done marks parents whose units have been reorganized, so a later
+	// Reorganize spends its budget on new heat. An Update that retires
+	// a member's placement clears its owner here — the unit is worth
+	// revisiting.
+	done map[OID]bool
+
+	migrated   int64
+	batches    int64
+	pagesDirty int64
+	dropped    int64
+}
+
+// EnableReclustering installs the adaptive-clustering state: a heat
+// tracker bounded to heatCap units (<=0 means a 1024-entry default)
+// with the given decay half-life in touches (<=0 means the package
+// default), and an empty placement map. Default-off — a database that
+// never calls this keeps every read and update path untouched.
+func (d *Database) EnableReclustering(heatCap, halfLife int) error {
+	if d.reclust != nil {
+		return errors.New("corep: reclustering already enabled")
+	}
+	if heatCap <= 0 {
+		heatCap = defaultHeatCap
+	}
+	d.reclust = &reclustState{
+		heat:  reclust.NewTracker(heatCap, halfLife),
+		place: reclust.NewMap(),
+		done:  map[OID]bool{},
+	}
+	return nil
+}
+
+// touchHeat feeds the heat tracker with one access to the unit rooted
+// at oid (no-op until EnableReclustering).
+func (d *Database) touchHeat(oid OID) {
+	if d.reclust != nil {
+		d.reclust.heat.Touch(int64(oid), 1)
+	}
+}
+
+// dropPlacement retires oid's migrated copy, if any — called by Update
+// before the base row changes, so readers fall back to the rewritten
+// row and never see the stale copy. The owning unit becomes eligible
+// for re-reorganization.
+func (d *Database) dropPlacement(oid OID) {
+	rs := d.reclust
+	if rs == nil {
+		return
+	}
+	e, ok := rs.place.Latest(oid)
+	if !ok {
+		return
+	}
+	rs.place.Drop([]OID{oid})
+	rs.dropped++
+	delete(rs.done, OID(e.Owner))
+}
+
+// fetchPlaced reads a migrated copy by RID straight through the buffer
+// pool.
+func (d *Database) fetchPlaced(rid storage.RID) ([]byte, error) {
+	buf, err := d.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	pg := storage.Page{Buf: buf}
+	rec, err := pg.Record(int(rid.Slot))
+	if err != nil {
+		d.pool.Unpin(rid.Page, false)
+		return nil, err
+	}
+	out := append([]byte(nil), rec...)
+	d.pool.Unpin(rid.Page, false)
+	return out, nil
+}
+
+// fetchRedirected resolves oid through the placement map when
+// reclustering is on; ok reports whether a placed copy answered.
+func (d *Database) fetchRedirected(oid OID, schema *tuple.Schema) (Row, bool, error) {
+	rs := d.reclust
+	if rs == nil {
+		return nil, false, nil
+	}
+	e, ok := rs.place.Latest(oid)
+	if !ok {
+		return nil, false, nil
+	}
+	rec, err := d.fetchPlaced(e.RID)
+	if err != nil {
+		return nil, false, err
+	}
+	row, err := tuple.Decode(schema, rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// ReorganizeResult summarizes one Reorganize call.
+type ReorganizeResult struct {
+	Units   int // hot units visited
+	Objects int // subobject rows copied onto extent pages
+	Pages   int // distinct extent pages written
+}
+
+// Reorganize runs one adaptive-clustering batch: visit up to maxUnits
+// (<=0 means DefaultReclustUnits) of the hottest not-yet-reorganized
+// units, copy each one's OID-represented subobject rows onto shared
+// extent pages — hottest units packed first, a unit's members adjacent
+// — and publish the placements. Subsequent Fetch/FetchBatch calls on a
+// migrated member read the packed copy; since one unit's members share
+// extent pages, resolving a whole unit costs one or two page reads
+// where the scattered base rows cost one each. With the WAL enabled
+// the new extent pages commit durably before the call returns (the
+// placements themselves are deliberately not logged — they are an
+// optimization, rebuilt from fresh heat after any reopen).
+func (d *Database) Reorganize(maxUnits int) (ReorganizeResult, error) {
+	var res ReorganizeResult
+	rs := d.reclust
+	if rs == nil {
+		return res, errors.New("corep: reclustering not enabled (call EnableReclustering)")
+	}
+	if maxUnits <= 0 {
+		maxUnits = DefaultReclustUnits
+	}
+	entries := make(map[OID]reclust.Entry)
+	pages := map[disk.PageID]bool{}
+	for _, kh := range rs.heat.TopN(-1) {
+		if res.Units >= maxUnits {
+			break
+		}
+		parent := OID(kh.Key)
+		if rs.done[parent] {
+			continue
+		}
+		prel, err := d.cat.ByID(parent.Rel())
+		if err != nil {
+			continue // tracked heat for a relation that no longer exists
+		}
+		rec, err := prel.Tree.Get(parent.Key())
+		if err != nil {
+			continue // parent row gone; heat will decay away
+		}
+		row, err := tuple.Decode(prel.Schema, append([]byte(nil), rec...))
+		if err != nil {
+			return res, err
+		}
+		moved, err := d.reorganizeUnit(parent, prel.Schema, row, entries, pages)
+		if err != nil {
+			return res, err
+		}
+		rs.done[parent] = true
+		res.Units++
+		res.Objects += moved
+		// Under the WAL's no-steal gate dirty extent frames hold their
+		// buffer slots until captured; commit periodically so a large
+		// budget cannot wedge the pool.
+		if d.wal != nil && res.Units%16 == 0 {
+			if _, err := d.walCommit(); err != nil {
+				return res, err
+			}
+		}
+	}
+	if _, err := d.walCommit(); err != nil {
+		return res, err
+	}
+	rs.place.Publish(entries)
+	rs.migrated += int64(res.Objects)
+	if res.Units > 0 {
+		rs.batches++
+	}
+	res.Pages = len(pages)
+	rs.pagesDirty += int64(res.Pages)
+	return res, nil
+}
+
+// reorganizeUnit copies one parent's OID-represented subobject rows
+// into the extent and stages their placements. Members already placed
+// (by an earlier batch, or claimed by a hotter parent in this one)
+// keep their existing copies.
+func (d *Database) reorganizeUnit(parent OID, schema *tuple.Schema, row Row, entries map[OID]reclust.Entry, pages map[disk.PageID]bool) (int, error) {
+	rs := d.reclust
+	moved := 0
+	for i := 0; i < schema.NumFields(); i++ {
+		raw := row[i].Raw
+		if row[i].Kind != tuple.KBytes || len(raw) == 0 || raw[0] != tagOIDs {
+			continue
+		}
+		oids, err := object.DecodeOIDs(raw[1:])
+		if err != nil {
+			return moved, err
+		}
+		for _, oid := range oids {
+			if _, staged := entries[oid]; staged {
+				continue
+			}
+			if _, ok := rs.place.Latest(oid); ok {
+				continue
+			}
+			srel, err := d.cat.ByID(oid.Rel())
+			if err != nil {
+				return moved, fmt.Errorf("corep: reorganize %v: %w", oid, err)
+			}
+			rec, err := srel.Tree.Get(oid.Key())
+			if err != nil {
+				continue // dangling member OID; the base read path skips it too
+			}
+			if rs.extent == nil {
+				f, err := heap.Create(d.pool)
+				if err != nil {
+					return moved, err
+				}
+				rs.extent = f
+			}
+			rid, err := rs.extent.Append(append([]byte(nil), rec...))
+			if err != nil {
+				return moved, err
+			}
+			entries[oid] = reclust.Entry{RID: rid, Owner: int64(parent)}
+			pages[rid.Page] = true
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+// UnitHeat is one HottestUnits entry: a unit's root object and its
+// decayed access heat.
+type UnitHeat struct {
+	Relation string  `json:"relation"`
+	Key      int64   `json:"key"`
+	Heat     float64 `json:"heat"`
+	Migrated bool    `json:"migrated,omitempty"` // unit already reorganized
+}
+
+// HottestUnits returns the n hottest tracked units, hottest first
+// (n <= 0 means all; empty until EnableReclustering).
+func (d *Database) HottestUnits(n int) []UnitHeat {
+	rs := d.reclust
+	if rs == nil {
+		return nil
+	}
+	var out []UnitHeat
+	for _, kh := range rs.heat.TopN(n) {
+		oid := OID(kh.Key)
+		name, err := d.RelationOf(oid)
+		if err != nil {
+			name = fmt.Sprintf("rel#%d", oid.Rel())
+		}
+		out = append(out, UnitHeat{Relation: name, Key: oid.Key(), Heat: kh.Heat, Migrated: rs.done[oid]})
+	}
+	return out
+}
+
+// ReclustStats returns the adaptive-clustering counters (nil until
+// EnableReclustering).
+func (d *Database) ReclustStats() *ReclustStats {
+	rs := d.reclust
+	if rs == nil {
+		return nil
+	}
+	touches, evictions := rs.heat.Counters()
+	return &ReclustStats{
+		Tracked:    rs.heat.Len(),
+		Touches:    touches,
+		Evictions:  evictions,
+		Placements: rs.place.Len(),
+		Migrated:   rs.migrated,
+		Batches:    rs.batches,
+		PagesDirty: rs.pagesDirty,
+		Dropped:    rs.dropped,
+	}
+}

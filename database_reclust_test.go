@@ -1,0 +1,248 @@
+package corep
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// buildScatteredDB creates a database whose groups' members are spread
+// across a large item relation — the layout adaptive clustering is
+// supposed to fix. Returns the database and the group count.
+func buildScatteredDB(t *testing.T, pool int) (*Database, int) {
+	t.Helper()
+	const items, groups, fanout = 800, 8, 4
+	db := NewDatabase(pool)
+	item, err := db.CreateRelation("item", IntField("OID"), StrField("name"), IntField("val"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oids := make([]OID, items+1)
+	for k := 1; k <= items; k++ {
+		oid, err := item.Insert(Row{Int(int64(k)), Str(fmt.Sprintf("item-%04d-padding-to-spread-pages", k)), Int(int64(k * 10))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids[k] = oid
+	}
+	group, err := db.CreateRelation("grp", IntField("key"), ChildrenField("members"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 1; g <= groups; g++ {
+		// Members of one group land items/fanout keys apart — maximally
+		// scattered across the item relation's pages.
+		members := make([]OID, fanout)
+		for j := 0; j < fanout; j++ {
+			members[j] = oids[g+j*(items/fanout)]
+		}
+		if _, err := group.InsertWith(Row{Int(int64(g)), Value{}},
+			map[string]Children{"members": OIDChildren(members...)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, groups
+}
+
+// TestReclusteringPacksHotUnits is the facade acceptance test: after
+// heat-fed reorganization, the same queries return the same values at
+// a lower cold-cache I/O cost than an identical database that never
+// reclusters.
+func TestReclusteringPacksHotUnits(t *testing.T) {
+	subject, groups := buildScatteredDB(t, 8)
+	control, _ := buildScatteredDB(t, 8)
+
+	if err := subject.EnableReclustering(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	readAll := func(db *Database) []Value {
+		var all []Value
+		for g := 1; g <= groups; g++ {
+			vals, err := db.RetrievePath("grp", "members", "val", int64(g), int64(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, vals...)
+		}
+		return all
+	}
+	want := readAll(control)
+	before := readAll(subject)
+	if fmt.Sprint(before) != fmt.Sprint(want) {
+		t.Fatalf("pre-reorganize values diverge: %v vs %v", before, want)
+	}
+
+	res, err := subject.Reorganize(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units != groups || res.Objects == 0 || res.Pages == 0 {
+		t.Fatalf("reorganize did nothing: %+v", res)
+	}
+
+	after := readAll(subject)
+	if fmt.Sprint(after) != fmt.Sprint(want) {
+		t.Fatalf("post-reorganize values diverge: %v vs %v", after, want)
+	}
+
+	// Cold replay: the packed copies must cost strictly less I/O than
+	// the scattered base rows.
+	if err := subject.ResetCold(); err != nil {
+		t.Fatal(err)
+	}
+	if err := control.ResetCold(); err != nil {
+		t.Fatal(err)
+	}
+	readAll(subject)
+	readAll(control)
+	if sr, cr := subject.Stats().Reads, control.Stats().Reads; sr >= cr {
+		t.Errorf("reclustered cold reads %d, want < control's %d", sr, cr)
+	}
+
+	snap := subject.Snapshot()
+	if snap.Reclust == nil {
+		t.Fatal("Snapshot().Reclust nil after EnableReclustering")
+	}
+	if snap.Reclust.Migrated == 0 || snap.Reclust.Placements == 0 || snap.Reclust.Tracked == 0 {
+		t.Errorf("empty reclust snapshot: %+v", *snap.Reclust)
+	}
+	if control.Snapshot().Reclust != nil {
+		t.Error("control Snapshot().Reclust non-nil without EnableReclustering")
+	}
+}
+
+// TestReclusteringUpdateRetiresPlacement: an in-place update must
+// retire the stale copy, and the unit must become eligible for
+// re-reorganization carrying the new value.
+func TestReclusteringUpdateRetiresPlacement(t *testing.T) {
+	db, groups := buildScatteredDB(t, 8)
+	if err := db.EnableReclustering(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RetrievePath("grp", "members", "val", 1, int64(groups)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Reorganize(groups); err != nil {
+		t.Fatal(err)
+	}
+
+	item, err := db.Relation("item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item 1 is a member of group 1 (and was migrated).
+	if err := item.Update(1, Row{Int(1), Str("updated"), Int(424242)}); err != nil {
+		t.Fatal(err)
+	}
+	if db.ReclustStats().Dropped == 0 {
+		t.Error("update of a migrated member dropped no placement")
+	}
+	vals, err := db.RetrievePath("grp", "members", "val", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].Int != 424242 {
+		t.Fatalf("post-update retrieve sees %d, want 424242", vals[0].Int)
+	}
+
+	// The unit is hot again and re-reorganizes with the fresh value.
+	if _, err := db.Reorganize(groups); err != nil {
+		t.Fatal(err)
+	}
+	vals, err = db.RetrievePath("grp", "members", "val", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].Int != 424242 {
+		t.Fatalf("re-reorganized copy serves %d, want 424242", vals[0].Int)
+	}
+}
+
+func TestReclusteringErrors(t *testing.T) {
+	db := NewDatabase(8)
+	if _, err := db.Reorganize(4); err == nil {
+		t.Error("Reorganize without EnableReclustering succeeded")
+	}
+	if err := db.EnableReclustering(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnableReclustering(0, 0); err == nil {
+		t.Error("double EnableReclustering succeeded")
+	}
+	// An empty heat table reorganizes to nothing, not an error.
+	res, err := db.Reorganize(4)
+	if err != nil || res.Units != 0 {
+		t.Errorf("empty reorganize: %+v, %v", res, err)
+	}
+	if db.HottestUnits(5) != nil {
+		t.Error("HottestUnits non-empty on a cold tracker")
+	}
+}
+
+// TestReclusteringFileReopen: placements are volatile — a reopened
+// file-backed database serves every row from its base pages, and the
+// orphaned extent pages from the previous run are never referenced.
+func TestReclusteringFileReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reclust.pages")
+	db, err := OpenDatabaseFile(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnableWAL(); err != nil {
+		t.Fatal(err)
+	}
+	item, err := db.CreateRelation("item", IntField("OID"), IntField("val"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var members []OID
+	for k := 1; k <= 50; k++ {
+		oid, err := item.Insert(Row{Int(int64(k)), Int(int64(k * 7))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k%10 == 0 {
+			members = append(members, oid)
+		}
+	}
+	group, err := db.CreateRelation("grp", IntField("key"), ChildrenField("members"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := group.InsertWith(Row{Int(1), Value{}},
+		map[string]Children{"members": OIDChildren(members...)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnableReclustering(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.RetrievePath("grp", "members", "val", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Reorganize(4); err != nil {
+		t.Fatal(err)
+	}
+	if db.ReclustStats().Placements == 0 {
+		t.Fatal("no placements after Reorganize")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDatabaseFile(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Snapshot().Reclust != nil {
+		t.Error("reclustering state survived reopen")
+	}
+	got, err := re.RetrievePath("grp", "members", "val", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("reopened values %v, want %v", got, want)
+	}
+}

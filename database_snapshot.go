@@ -55,8 +55,9 @@ type Snapshot struct {
 	Faults   FaultStats    `json:"faults"`
 	Prefetch PrefetchStats `json:"prefetch"`
 	SlowLog  SlowLogStats  `json:"slow_log"`
-	Txn      *TxnStats     `json:"txn,omitempty"` // nil until EnableVersionedServing (see database_txn.go)
-	WAL      *WALStats     `json:"wal,omitempty"` // nil until EnableWAL (see database_wal.go)
+	Txn      *TxnStats     `json:"txn,omitempty"`     // nil until EnableVersionedServing (see database_txn.go)
+	WAL      *WALStats     `json:"wal,omitempty"`     // nil until EnableWAL (see database_wal.go)
+	Reclust  *ReclustStats `json:"reclust,omitempty"` // nil until EnableReclustering (see database_reclust.go)
 }
 
 // Snapshot returns the current consolidated counters.
@@ -88,6 +89,7 @@ func (d *Database) Snapshot() Snapshot {
 	}
 	snap.Txn = d.TxnStats()
 	snap.WAL = d.WALStats()
+	snap.Reclust = d.ReclustStats()
 	return snap
 }
 

@@ -67,6 +67,7 @@ func TestMetricDirection(t *testing.T) {
 		"drain_applied":      Info,
 		"p99_ns":             LowerBetter,
 		"p50_ns":             LowerBetter,
+		"io_per_query":       LowerBetter,
 		"sync_reads":         LowerBetter,
 		"baseline_reads":     LowerBetter,
 		"total_io":           LowerBetter,

@@ -43,8 +43,9 @@ var higherBetter = map[string]bool{
 
 // MetricDirection classifies a metric name: an explicit allowlist for
 // higher-better, suffix conventions for lower-better (latency
-// percentiles end in _ns, I/O counters in reads/writes/io), everything
-// else informational. Unknown metrics never gate a build.
+// percentiles end in _ns, I/O counters in reads/writes/io, per-query
+// cost rates in per_query), everything else informational. Unknown
+// metrics never gate a build.
 func MetricDirection(name string) Direction {
 	if higherBetter[name] {
 		return HigherBetter
@@ -54,6 +55,7 @@ func MetricDirection(name string) Direction {
 		strings.HasSuffix(name, "reads"),
 		strings.HasSuffix(name, "writes"),
 		strings.HasSuffix(name, "io"),
+		strings.HasSuffix(name, "per_query"),
 		strings.HasSuffix(name, "violations"),
 		strings.HasSuffix(name, "failed"):
 		return LowerBetter

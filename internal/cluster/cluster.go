@@ -70,6 +70,22 @@ func Assign(units []object.Unit, usersOf [][]int64, rng *rand.Rand) (*Assignment
 	return a, nil
 }
 
+// Rehome records that the subobjects in oids have been physically
+// re-placed with parent home (an online reclustering migration batch).
+// It is a pure delta on Owner — HomeParent keeps the load-time choice —
+// and returns how many owners actually changed, so FragmentsOf and
+// MeanFragments track the post-migration layout.
+func (a *Assignment) Rehome(oids []object.OID, home int64) int {
+	moved := 0
+	for _, oid := range oids {
+		if a.Owner[oid] != home {
+			a.Owner[oid] = home
+			moved++
+		}
+	}
+	return moved
+}
+
 // FragmentsOf returns, for one unit, the number of distinct physical
 // homes its subobjects live at — 1 means the unit is perfectly
 // clustered, higher values are the degradation of §3.3 case [3] ("to

@@ -109,6 +109,20 @@ func (f *File) Append(rec []byte) (storage.RID, error) {
 	return storage.RID{Page: nid, Slot: uint16(slot)}, nil
 }
 
+// Update overwrites the record at rid in place. The record stays on its
+// page (RIDs handed out never go stale); growth beyond the page's free
+// space fails with storage.ErrPageFull.
+func (f *File) Update(rid storage.RID, rec []byte) error {
+	buf, err := f.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	pg := storage.Page{Buf: buf}
+	err = pg.Update(int(rid.Slot), rec)
+	f.pool.Unpin(rid.Page, err == nil)
+	return err
+}
+
 // Get fetches the record at rid. The returned slice is a copy.
 func (f *File) Get(rid storage.RID) ([]byte, error) {
 	buf, err := f.pool.Pin(rid.Page)

@@ -1,0 +1,45 @@
+package reclust
+
+import "corep/internal/obs"
+
+// Feeder adapts a Tracker to the obs span pipeline: it is an obs.Sink
+// that consumes retrieve spans carrying "lo"/"hi" parent-range
+// attributes and turns each into one TouchRange. Wire it as (or tee it
+// into) the sink of the database's obs context; every other span and
+// every metric passes through untouched.
+type Feeder struct {
+	Tracker *Tracker
+	// SpanName selects which spans feed heat (e.g.
+	// "strategy.dfsclust/retrieve").
+	SpanName string
+	// Weight is the heat added per touched parent (0 means 1).
+	Weight float64
+}
+
+// Span implements obs.Sink.
+func (f *Feeder) Span(ev *obs.SpanEvent) {
+	if ev.Name != f.SpanName {
+		return
+	}
+	lo, hi := int64(-1), int64(-1)
+	ok := 0
+	for _, a := range ev.Attrs {
+		switch a.Key {
+		case "lo":
+			lo, ok = a.Val, ok+1
+		case "hi":
+			hi, ok = a.Val, ok+1
+		}
+	}
+	if ok != 2 || hi < lo {
+		return
+	}
+	w := f.Weight
+	if w == 0 {
+		w = 1
+	}
+	f.Tracker.TouchRange(lo, hi, w)
+}
+
+// Metric implements obs.Sink (heat ignores metric points).
+func (f *Feeder) Metric(obs.MetricPoint) {}

@@ -41,13 +41,23 @@ func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
 	var scanIO, fetchIO int64
 	// Scan and fetch interleave per cluster group, so one span covers the
 	// whole retrieve; the ParCost/ChildCost split travels as attributes.
+	// The parent range rides along too — the reclustering heat tracker
+	// feeds on it through the span sink.
 	sp := db.Obs.Start("strategy.dfsclust/retrieve")
 	defer func() {
+		sp.SetAttr("lo", q.Lo)
+		sp.SetAttr("hi", q.Hi)
 		sp.SetAttr("par_io", scanIO)
 		sp.SetAttr("child_io", fetchIO)
 		sp.SetAttr("values", int64(len(res.Values)))
 		sp.End()
 	}()
+
+	// Online reclustering, when enabled, may have migrated some of this
+	// range's units onto shared extent pages; the placement map is
+	// consulted per key below, at the reader's snapshot epoch.
+	rs := db.Reclust
+	snapE := q.Snap.Epoch()
 
 	// One cluster# group: the parent's unit and the locally clustered
 	// subobject values.
@@ -68,15 +78,41 @@ func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
 		}
 		span := beginIO(db)
 		var (
-			ch   *buffer.Chain
-			rids map[object.OID]storage.RID
+			ch     *buffer.Chain
+			rids   map[object.OID]storage.RID
+			placed map[object.OID]storage.RID
 		)
+		if rs != nil {
+			for _, oid := range unit {
+				if _, ok := local[oid]; ok {
+					continue
+				}
+				if e, ok := rs.Place.Lookup(oid, snapE); ok {
+					if placed == nil {
+						placed = map[object.OID]storage.RID{}
+					}
+					placed[oid] = e.RID
+				}
+			}
+		}
 		if pf := db.Pool.Prefetcher(); pf != nil {
 			var keys []int64
+			seen := map[disk.PageID]bool{}
+			var plan []disk.PageID
 			for _, oid := range unit {
-				if _, ok := local[oid]; !ok {
-					keys = append(keys, int64(oid))
+				if _, ok := local[oid]; ok {
+					continue
 				}
+				// Migrated members' pages are known without an index
+				// probe: they lead the prefetch plan.
+				if prid, ok := placed[oid]; ok {
+					if !seen[prid.Page] {
+						seen[prid.Page] = true
+						plan = append(plan, prid.Page)
+					}
+					continue
+				}
+				keys = append(keys, int64(oid))
 			}
 			if len(keys) > 1 {
 				rr, err := db.ClusterRel.Index.ProbeBatch(keys)
@@ -84,8 +120,6 @@ func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
 					return fmt.Errorf("strategy: clustered probe batch: %w", err)
 				}
 				rids = make(map[object.OID]storage.RID, len(keys))
-				seen := make(map[disk.PageID]bool, len(rr))
-				plan := make([]disk.PageID, 0, len(rr))
 				for i, rid := range rr {
 					rids[object.OID(keys[i])] = rid
 					if !seen[rid.Page] {
@@ -93,18 +127,31 @@ func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
 						plan = append(plan, rid.Page)
 					}
 				}
-				if len(plan) > 1 {
-					psp := db.Obs.Start("prefetch.probeplan")
-					psp.SetAttr("pages", int64(len(plan)))
-					psp.End()
-					ch = pf.Start(plan)
-					defer ch.Finish()
-				}
+			}
+			if len(plan) > 1 {
+				psp := db.Obs.Start("prefetch.probeplan")
+				psp.SetAttr("pages", int64(len(plan)))
+				psp.End()
+				ch = pf.Start(plan)
+				defer ch.Finish()
 			}
 		}
 		for _, oid := range unit {
 			if v, ok := local[oid]; ok {
 				res.Values = append(res.Values, overlayInt(q.Snap, oid, q.AttrIdx, v))
+				continue
+			}
+			if prid, ok := placed[oid]; ok {
+				payload, err := rs.Read(prid)
+				if err != nil {
+					return err
+				}
+				ch.Consumed(prid.Page)
+				av, err := tuple.DecodeField(db.ClusterSchema, payload, attrIdx)
+				if err != nil {
+					return err
+				}
+				res.Values = append(res.Values, overlayInt(q.Snap, oid, q.AttrIdx, av.Int))
 				continue
 			}
 			rid, ok := rids[oid]
@@ -130,8 +177,8 @@ func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
 		return nil
 	}
 
-	scanSpan := beginIO(db)
-	err := db.ClusterRel.Tree.Range(q.Lo, q.Hi, func(key int64, payload []byte) (bool, error) {
+	var scanSpan ioSpan
+	scanCB := func(key int64, payload []byte) (bool, error) {
 		if key != curKey {
 			scanIO += scanSpan.end()
 			if err := resolve(); err != nil {
@@ -166,13 +213,76 @@ func (dfsclust) Retrieve(db *workload.DB, q Query) (*Result, error) {
 		}
 		local[oid] = av.Int
 		return true, nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	scanIO += scanSpan.end()
-	if err := resolve(); err != nil {
-		return nil, err
+	// scanRun range-scans ClusterRel over a contiguous run of cluster#
+	// keys and flushes the final group — the historic whole-query scan is
+	// scanRun(q.Lo, q.Hi).
+	scanRun := func(a, b int64) error {
+		scanSpan = beginIO(db)
+		err := db.ClusterRel.Tree.Range(a, b, scanCB)
+		if err != nil {
+			return err
+		}
+		scanIO += scanSpan.end()
+		if err := resolve(); err != nil {
+			return err
+		}
+		unit, hasPar, curKey = nil, false, -1
+		local = map[object.OID]int64{}
+		return nil
+	}
+
+	if rs == nil {
+		if err := scanRun(q.Lo, q.Hi); err != nil {
+			return nil, err
+		}
+	} else {
+		// A parent whose whole unit has migrated serves straight off the
+		// extent: the parent row's copy carries the children list, the
+		// members resolve through their placements, and the B-tree scan
+		// skips the key entirely. Residual runs of un-migrated keys scan
+		// as before, so placed and scanned groups interleave in key
+		// order — result order matches the historic scan exactly.
+		pending := int64(-1)
+		for k := q.Lo; k <= q.Hi; k++ {
+			e, ok := rs.Place.Lookup(object.NewOID(parentRelID, k), snapE)
+			if !ok {
+				if pending < 0 {
+					pending = k
+				}
+				continue
+			}
+			if pending >= 0 {
+				if err := scanRun(pending, k-1); err != nil {
+					return nil, err
+				}
+				pending = -1
+			}
+			span := beginIO(db)
+			payload, err := rs.Read(e.RID)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := tuple.DecodeField(db.ClusterSchema, payload, childrenIdx)
+			if err != nil {
+				return nil, err
+			}
+			oids, err := object.DecodeOIDs(cv.Raw)
+			if err != nil {
+				return nil, err
+			}
+			scanIO += span.end()
+			unit, hasPar, curKey = oids, true, k
+			if err := resolve(); err != nil {
+				return nil, err
+			}
+			unit, hasPar, curKey = nil, false, -1
+		}
+		if pending >= 0 {
+			if err := scanRun(pending, q.Hi); err != nil {
+				return nil, err
+			}
+		}
 	}
 	res.Split.Par = scanIO
 	res.Split.Child = fetchIO

@@ -65,6 +65,13 @@ type Config struct {
 
 	UpdateBatch int // ChildRel tuples modified per update query
 
+	// ScatterClusters deliberately mis-clusters ClusterRel at load time:
+	// every subobject's owner is drawn uniformly at random instead of from
+	// the unit's home parent, modelling a database whose physical layout
+	// has decayed far from the access pattern. Requires Clustered; used as
+	// the starting point of the online-reclustering experiments.
+	ScatterClusters bool
+
 	// ZipfTheta skews parent popularity in generated sequences: retrieve
 	// ranges and update targets concentrate on low-numbered parents with
 	// zipf exponent θ (ddtxn/OCB-style contention). 0 (the default) keeps
@@ -147,6 +154,9 @@ func (c Config) Validate() error {
 	if c.ZipfTheta < 0 {
 		return fmt.Errorf("workload: negative ZipfTheta %g", c.ZipfTheta)
 	}
+	if c.ScatterClusters && !c.Clustered {
+		return fmt.Errorf("workload: ScatterClusters requires Clustered")
+	}
 	return nil
 }
 
@@ -158,6 +168,9 @@ func (c Config) String() string {
 	// stay byte-identical at the default.
 	if c.ZipfTheta != 0 {
 		s += fmt.Sprintf(" zipf=%.3g", c.ZipfTheta)
+	}
+	if c.ScatterClusters {
+		s += " scattered=true"
 	}
 	return s
 }

@@ -85,6 +85,12 @@ type DB struct {
 	// Installed by EnableVersioning; folded back by DrainVersions.
 	Versions *txn.Store
 
+	// Reclust, when non-nil, is the online reclustering state: the heat
+	// tracker fed from retrieve spans and the placement map redirecting
+	// migrated subobjects to extent pages. Nil (the default) keeps every
+	// read path on the load-time layout. Installed by EnableReclustering.
+	Reclust *ReclustState
+
 	childByRelID map[uint16]*catalog.Relation
 	childCount   map[uint16]int
 	rng          *rand.Rand
@@ -99,8 +105,19 @@ type DB struct {
 // single-threaded use) while the sink and registry may be shared.
 func (db *DB) AttachObs(o obs.Options) {
 	ctx := obs.Ctx{Metrics: o.Metrics, Prefix: o.Prefix}
-	if o.Sink != nil {
-		ctx.Trace = obs.NewTracer(db.ioSnapshot, o.Sink)
+	sink := o.Sink
+	// Reclustering taps the span stream for its heat signal: tee the
+	// feeder in front of the caller's sink (enable reclustering before
+	// attaching obs). With no caller sink the feeder becomes the sink.
+	if db.Reclust != nil {
+		if sink != nil {
+			sink = obs.Tee{sink, db.Reclust.feeder}
+		} else {
+			sink = db.Reclust.feeder
+		}
+	}
+	if sink != nil {
+		ctx.Trace = obs.NewTracer(db.ioSnapshot, sink)
 	}
 	db.Obs = ctx
 	db.Pool.SetObs(ctx)
@@ -460,6 +477,20 @@ func (db *DB) buildCluster() error {
 	a, err := cluster.Assign(db.Units, db.UnitUsers, db.rng)
 	if err != nil {
 		return err
+	}
+	if db.Cfg.ScatterClusters {
+		// Decayed-layout mode: re-draw every owner uniformly so almost no
+		// subobject sits with a parent that uses it. Runs after Assign so
+		// the rng draws up to this point — and hence all generated values —
+		// match the statically-clustered build of the same seed.
+		oids := make([]object.OID, 0, len(a.Owner))
+		for oid := range a.Owner {
+			oids = append(oids, oid)
+		}
+		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+		for _, oid := range oids {
+			a.Owner[oid] = db.rng.Int63n(int64(db.Cfg.NumParents))
+		}
 	}
 	db.Assignment = a
 

@@ -230,7 +230,10 @@ func (db *DB) DrainVersions(apply func(Op) error) (int, error) {
 // ApplyUpdateCluster applies an update op to the clustered layout:
 // random access via the ISAM OID index, then an in-place page update
 // ("the updates ... are translated into equivalent queries on
-// ClusterRel", §4).
+// ClusterRel", §4). With reclustering enabled the update also writes
+// through to the target's migrated extent copy, keeping both physical
+// locations carrying the same value regardless of which one a reader's
+// placement lookup resolves.
 func (db *DB) ApplyUpdateCluster(op Op) error {
 	idx := db.ClusterRel.Index
 	for i, oid := range op.Targets {
@@ -253,6 +256,11 @@ func (db *DB) ApplyUpdateCluster(op Op) error {
 		}
 		if err := db.ClusterRel.Tree.UpdateAt(rid, nrec); err != nil {
 			return err
+		}
+		if db.Reclust != nil {
+			if err := db.Reclust.writeThrough(oid, op.NewRet1[i]); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -7,17 +7,20 @@ import (
 
 	"corep/internal/cache"
 	"corep/internal/disk"
+	"corep/internal/reclust"
 	"corep/internal/wal"
 )
 
 // WAL support for generated databases: the crash-chaos harness drives a
 // workload DB with the no-steal gate armed and an in-memory log device
 // whose sync watermark models what a process kill leaves behind. The
-// workload layer logs page images only — no metadata records — because
-// a workload database's structure is deterministic in its Config:
-// schedules contain retrieves and updates, never inserts, so B-tree
-// roots don't move and rebuilding from the same Config re-derives
-// everything the sidecar would have said.
+// workload layer logs page images — a workload database's structure is
+// deterministic in its Config (schedules contain retrieves and updates,
+// never inserts, so B-tree roots don't move) — plus, when online
+// reclustering is on, the placement map as a metadata blob: placements
+// are the one piece of structure the Config cannot re-derive, so each
+// migration batch commits them alongside its extent page images
+// (WALCommitMeta) and CrashAndRecover restores them from Result.Meta.
 
 // WALState is the log attached by EnableWAL.
 type WALState struct {
@@ -65,6 +68,37 @@ func (db *DB) WALCommit() (uint64, error) {
 	}
 	w.mu.Lock()
 	if err := db.walCaptureLocked(); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	w.seq++
+	seq := w.seq
+	lsn, err := w.log.AppendCommit(seq)
+	w.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := w.log.Sync(lsn); err != nil {
+		return seq, err
+	}
+	return seq, nil
+}
+
+// WALCommitMeta is WALCommit with a metadata blob riding in front of
+// the commit record: the blob becomes the recovery metadata if and only
+// if this commit survives. The reclustering reorganizer commits each
+// migration batch's placement state this way.
+func (db *DB) WALCommitMeta(meta []byte) (uint64, error) {
+	w := db.WAL
+	if w == nil {
+		return 0, nil
+	}
+	w.mu.Lock()
+	if err := db.walCaptureLocked(); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	if _, err := w.log.AppendMeta(meta); err != nil {
 		w.mu.Unlock()
 		return 0, err
 	}
@@ -151,6 +185,17 @@ func (db *DB) CrashAndRecover(keepUnsynced int64) (*wal.Result, error) {
 	}
 	db.Pool.SetNoSteal(false)
 	db.WAL = nil
+	if db.Reclust != nil {
+		// Placements beyond the last committed metadata blob died with
+		// the process; the blob's entries reference extent pages whose
+		// images were replayed above, so exactly the durable redirects
+		// come back — no lost and no duplicated placements.
+		entries, derr := reclust.DecodePlacements(res.Meta)
+		if derr != nil {
+			return nil, derr
+		}
+		db.Reclust.restoreAfterCrash(entries)
+	}
 	if err := db.rebuildCache(); err != nil {
 		return nil, err
 	}
