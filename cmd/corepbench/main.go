@@ -84,6 +84,10 @@ func run() int {
 		txnClients  = flag.String("txn-clients", "1,2,4,8", "client counts for -txn, comma-separated")
 		txnOps      = flag.Int("txn-ops", 0, "operations per client for -txn (default 40)")
 
+		plannerMode    = flag.Bool("planner", false, "run the cost-based planner shifting-mix sweep and exit (nonzero exit unless the planner beats every static strategy on the full run)")
+		plannerOut     = flag.String("planner-out", "BENCH_planner.json", "where -planner writes its JSON result")
+		plannerQueries = flag.Int("planner-queries", 0, "scale every phase's retrieve count for -planner (0 = defaults)")
+
 		reclustMode    = flag.Bool("reclust", false, "run the online-reclustering convergence sweep and exit (nonzero exit unless io/query strictly decreases and lands on the static cell)")
 		reclustOut     = flag.String("reclust-out", "BENCH_reclust.json", "where -reclust writes its JSON result")
 		reclustRounds  = flag.Int("reclust-rounds", 0, "migration rounds for -reclust (default 6)")
@@ -215,6 +219,60 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("wrote %s\n", *prefetchOut)
+		if bad {
+			return 1
+		}
+		return 0
+	}
+
+	if *plannerMode {
+		cfg := harness.DefaultPlannerSweepConfig()
+		if *plannerQueries > 0 {
+			for i := range cfg.Phases {
+				cfg.Phases[i].Retrieves = *plannerQueries
+			}
+		}
+		if *seed != 1 {
+			cfg.Seed = *seed
+			cfg.DB.Seed = *seed
+		}
+		fmt.Printf("running planner shifting-mix sweep (parents=%d, %d phases, seed=%d)...\n",
+			cfg.DB.NumParents, len(cfg.Phases), cfg.Seed)
+		start := time.Now()
+		sweep, err := harness.RunPlannerSweep(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "planner: %v\n", err)
+			return 1
+		}
+		for _, ph := range sweep.Phases {
+			fmt.Printf("  phase %-8s (%d retrieves, %d updates):\n", ph.Name, ph.Retrieves, ph.Updates)
+			for _, arm := range sweep.Arms {
+				fmt.Printf("    %-10s %8.2f io/query\n", arm, ph.IOPerQuery[arm])
+			}
+		}
+		fmt.Printf("  full run:\n")
+		for _, arm := range sweep.Arms {
+			fmt.Printf("    %-10s %8.2f io/query\n", arm, sweep.TotalIOPerQuery[arm])
+		}
+		fmt.Printf("  %d retrieve results checked row-identical across arms; planner made %d choices (%d probes, %d switches) in %s\n",
+			sweep.RowsCompared, sweep.PlannerStats.Choices, sweep.PlannerStats.Probes,
+			sweep.PlannerStats.Switches, time.Since(start).Round(time.Millisecond))
+		bad := false
+		if err := sweep.CheckPlannerSweep(); err != nil {
+			fmt.Fprintf(os.Stderr, "planner: VIOLATION %v\n", err)
+			bad = true
+		}
+		f, err := os.Create(*plannerOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "planner: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := sweep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "planner: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *plannerOut)
 		if bad {
 			return 1
 		}

@@ -12,6 +12,7 @@
 //
 //	retrieve (...) [where ...]   run a query
 //	\path <group-key>            retrieve (group.members.name) for one group
+//	\plan retrieve (...)         show the operator pipeline and planned traversals without executing
 //	\heat                        hottest units seen by the adaptive-clustering tracker
 //	\reclust                     reorganize: pack the hottest units onto shared extent pages
 //	\stats                       consolidated per-layer counters (\stats json for raw JSON)
@@ -119,6 +120,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Cost-based traversal planning: path queries choose probe vs batch
+	// expansion per step; \plan shows the pipeline without running it.
+	db.EnablePlanner()
 	if *trace {
 		db.TraceTo(os.Stderr)
 	}
@@ -163,7 +167,7 @@ func main() {
 		case line == `\quit` || line == `\q`:
 			return
 		case line == `\help`:
-			fmt.Println(`retrieve (...) [where ...] | \path <key> | \heat | \reclust | \stats [json] | \checkpoint | \slow | \faults | \metrics | \quit`)
+			fmt.Println(`retrieve (...) [where ...] | \path <key> | \plan <query> | \heat | \reclust | \stats [json] | \checkpoint | \slow | \faults | \metrics | \quit`)
 		case line == `\stats` || line == `\stats json`:
 			printSnapshot(db.Snapshot(), strings.HasSuffix(line, "json"))
 		case line == `\checkpoint`:
@@ -205,6 +209,18 @@ func main() {
 				fs.Injected, fs.Ops, fs.Transient, fs.Permanent, fs.Torn, fs.Spikes, fs.Retries, fs.Recovered)
 		case line == `\metrics`:
 			db.MetricsReport(os.Stdout)
+		case strings.HasPrefix(line, `\plan`):
+			src := strings.TrimSpace(strings.TrimPrefix(line, `\plan`))
+			if src == "" {
+				fmt.Println("usage: \\plan retrieve (...) [where ...]")
+				continue
+			}
+			plan, err := db.ExplainQuery(src)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(plan.String())
 		case strings.HasPrefix(line, `\path`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\path`))
 			key, err := strconv.ParseInt(arg, 10, 64)
@@ -375,6 +391,10 @@ func printSnapshot(snap corep.Snapshot, asJSON bool) {
 			fmt.Printf("; recovery replayed %d, discarded %d", snap.WAL.RecoveryReplayed, snap.WAL.RecoveryDiscarded)
 		}
 		fmt.Println()
+	}
+	if snap.Planner != nil {
+		fmt.Printf("planner:  %d planned executions, %d probe / %d batch traversals (%d warmup)\n",
+			snap.Planner.Plans, snap.Planner.ProbeChosen, snap.Planner.BatchChosen, snap.Planner.Warmup)
 	}
 	if snap.Reclust != nil {
 		fmt.Printf("reclust:  %d units tracked (%d touches, %d evictions), %d migrations in %d batches, %d pages rewritten, %d placements (%d dropped)\n",

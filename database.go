@@ -13,6 +13,7 @@ import (
 	"corep/internal/disk"
 	"corep/internal/object"
 	"corep/internal/obs"
+	"corep/internal/planner"
 	"corep/internal/pql"
 	"corep/internal/tuple"
 	"corep/internal/txn"
@@ -122,6 +123,12 @@ type Database struct {
 	traceSink obs.Sink
 	// slow is the slow-query log (EnableSlowLog); nil collects nothing.
 	slow *obs.SlowLog
+
+	// planner is the path-traversal cost model (EnablePlanner; see
+	// database_planner.go); nil keeps the static probe-everywhere
+	// executor, bit-identical to the pre-planner behavior.
+	planner      *planner.PathModel
+	plannerPlans int64
 }
 
 // NewDatabase creates an in-memory database with the given buffer-pool
@@ -216,10 +223,12 @@ func ValueChildren(shape *Relation, rows ...Row) Children {
 func (c Children) Representation() string { return c.rep.String() }
 
 // children-field encoding: 1 tag byte, then representation-specific.
+// The tag bytes are shared with the pql executor (multi-dot path
+// expansion reads them), so they live in internal/object.
 const (
-	tagOIDs  = 'O'
-	tagProc  = 'P'
-	tagValue = 'V'
+	tagOIDs  = object.TagOIDs
+	tagProc  = object.TagProc
+	tagValue = object.TagValue
 )
 
 func (c Children) encode() ([]byte, error) {
@@ -502,7 +511,7 @@ func (d *Database) RetrievePath(relName, childrenAttr, targetAttr string, lo, hi
 			// OID-represented units are what adaptive clustering can pack;
 			// feed the heat tracker so Reorganize knows what is hot.
 			d.touchHeat(object.NewOID(crel.ID, key))
-			rows, ferr := d.FetchBatch(res.OIDs)
+			rows, ferr := d.fetchGroup(res.OIDs)
 			if ferr != nil {
 				return false, ferr
 			}
@@ -566,7 +575,11 @@ func (d *Database) Query(src string) (qr *QueryResult, err error) {
 	if err := d.walPressure(); err != nil {
 		return nil, err
 	}
-	res, err := pql.Run(d.cat, src)
+	q, err := pql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pql.ExecuteWith(d.cat, q, d.plannerOpts())
 	if err != nil {
 		return nil, err
 	}

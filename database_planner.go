@@ -1,0 +1,112 @@
+package corep
+
+// Cost-based planning for the object API: EnablePlanner installs a
+// planner.PathModel that chooses, per sub-path step of a multi-dot
+// retrieval (Query paths and RetrievePath), between per-OID index
+// probes and a batched page-ordered fetch, learning from measured page
+// reads. Default-off: without EnablePlanner every query runs the static
+// probe-everywhere executor, bit-identical to the pre-planner facade.
+
+import (
+	"fmt"
+
+	"corep/internal/planner"
+	"corep/internal/pql"
+)
+
+// EnablePlanner turns on cost-based traversal planning for pql path
+// queries and RetrievePath. Idempotent; there is no way to disable it
+// short of reopening the database (estimates are cheap and harmless).
+func (d *Database) EnablePlanner() {
+	if d.planner == nil {
+		d.planner = planner.NewPathModel(0)
+	}
+}
+
+// PlannerStats summarizes planner activity for Snapshot().
+type PlannerStats struct {
+	// Plans counts planned executions (path queries and RetrievePath
+	// calls that consulted the planner).
+	Plans int64
+	// ProbeChosen / BatchChosen count per-step traversal choices.
+	ProbeChosen int64
+	BatchChosen int64
+	// Warmup counts forced exploration choices (each (relation, fan-out
+	// bucket) measures both operators once before trusting estimates).
+	Warmup int64
+}
+
+func (d *Database) plannerStats() *PlannerStats {
+	if d.planner == nil {
+		return nil
+	}
+	probe, batch, warm := d.planner.Counts()
+	return &PlannerStats{
+		Plans:       d.plannerPlans,
+		ProbeChosen: probe,
+		BatchChosen: batch,
+		Warmup:      warm,
+	}
+}
+
+// plannerOpts builds the pql execution options: zero (the unplanned
+// executor) until EnablePlanner.
+func (d *Database) plannerOpts() pql.ExecOpts {
+	if d.planner == nil {
+		return pql.ExecOpts{}
+	}
+	d.plannerPlans++
+	return pql.ExecOpts{
+		Planner: d.planner,
+		IOStat:  func() int64 { return d.dsk.Stats().Reads },
+	}
+}
+
+// ExplainQuery reports the plan for a retrieve statement without
+// executing it: the operator pipeline, and — with the planner enabled —
+// the traversal the cost model would currently choose per expansion
+// step. The corepquery \plan command prints this.
+func (d *Database) ExplainQuery(src string) (*pql.Plan, error) {
+	q, err := pql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var opts pql.ExecOpts
+	if d.planner != nil {
+		opts.Planner = d.planner
+	}
+	return pql.Explain(d.cat, q, opts)
+}
+
+// fetchGroup fetches subobject rows for an OID list, letting the
+// planner pick probe vs batch when enabled (RetrievePath's expansion
+// step). Without a planner it is exactly FetchBatch.
+func (d *Database) fetchGroup(oids []OID) ([]Row, error) {
+	if d.planner == nil || len(oids) == 0 {
+		return d.FetchBatch(oids)
+	}
+	d.plannerPlans++
+	relID := oids[0].Rel()
+	tr, _ := d.planner.ChooseTraversal(relID, len(oids))
+	before := d.dsk.Stats().Reads
+	var (
+		rows []Row
+		err  error
+	)
+	if tr == pql.TraversalProbe {
+		rows = make([]Row, len(oids))
+		for i, oid := range oids {
+			rows[i], err = d.Fetch(oid)
+			if err != nil {
+				return nil, fmt.Errorf("corep: fetch %v: %w", oid, err)
+			}
+		}
+	} else {
+		rows, err = d.FetchBatch(oids)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.planner.ObserveTraversal(relID, tr, len(oids), d.dsk.Stats().Reads-before)
+	return rows, nil
+}

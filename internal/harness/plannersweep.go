@@ -1,0 +1,372 @@
+package harness
+
+// Planner sweep: the shifting-mix benchmark behind BENCH_planner.json.
+// One identically-provisioned database per arm — every executable
+// static strategy plus the cost-based planner — replays the same
+// deterministic operation stream through a sequence of phases whose
+// retrieve width and update rate shift mid-run. Updates are applied
+// through the same composite write-through on every arm (cache-aware
+// path + cluster layout), so update I/O is constant across arms and
+// retrieve I/O is the differentiator; retrieves are checked
+// row-identical (sorted multiset) between the planner arm and every
+// static arm at share factor 1, where all strategies are
+// result-equivalent.
+
+import (
+	"fmt"
+	"io"
+
+	"corep/internal/bench"
+	"corep/internal/planner"
+	"corep/internal/strategy"
+	"corep/internal/workload"
+)
+
+// PlannerPhase is one segment of the shifting mix.
+type PlannerPhase struct {
+	Name      string  `json:"name"`
+	Retrieves int     `json:"retrieves"`
+	NumTop    int     `json:"num_top"`
+	PrUpdate  float64 `json:"pr_update"`
+}
+
+// PlannerSweepConfig parameterizes RunPlannerSweep.
+type PlannerSweepConfig struct {
+	DB     workload.Config `json:"db"`
+	Seed   int64           `json:"seed"`
+	Phases []PlannerPhase  `json:"phases"`
+}
+
+// PlannerPhaseSlack is the per-phase acceptance gate: the planner's
+// io/query must stay within 10% of the best static strategy for that
+// phase's mix.
+const PlannerPhaseSlack = 1.10
+
+// DefaultPlannerSweepConfig is the checked-in benchmark: three phases
+// engineered so no static strategy wins them all — a cache-friendly
+// narrow-read phase, a wide-scan phase, and an update-heavy phase after
+// the rate ramps — over a scattered-cluster database where every
+// strategy is executable but none dominates.
+func DefaultPlannerSweepConfig() PlannerSweepConfig {
+	return PlannerSweepConfig{
+		Seed: 7,
+		DB: workload.Config{
+			NumParents: 1500,
+			SizeUnit:   5,
+			UseFactor:  1,
+			// Scattered clustering: DFSCLUST stays executable but pays ISAM
+			// probes for subobjects outside the home cluster page, so it
+			// does not trivially dominate at share factor 1.
+			Clustered:       true,
+			ScatterClusters: true,
+			CacheUnits:      1500,
+			// Skewed parent popularity: hot ranges repeat, so the outside
+			// cache pays off on narrow reads — the regime where
+			// breadth-first temps cannot compete (§5.3's motivation).
+			ZipfTheta: 0.9,
+			Seed:      7,
+		},
+		Phases: []PlannerPhase{
+			{Name: "narrow", Retrieves: 400, NumTop: 8, PrUpdate: 0},
+			{Name: "scan", Retrieves: 120, NumTop: 512, PrUpdate: 0},
+			{Name: "churn", Retrieves: 400, NumTop: 8, PrUpdate: 0.5},
+		},
+	}
+}
+
+// PlannerPhaseResult is one phase's measured outcome.
+type PlannerPhaseResult struct {
+	Name      string             `json:"name"`
+	Retrieves int                `json:"retrieves"`
+	Updates   int                `json:"updates"`
+	// IOPerQuery maps arm name ("DFS", …, "PLANNED") to retrieve I/O per
+	// retrieve (pages), summed from each retrieve's measured cost split.
+	IOPerQuery map[string]float64 `json:"io_per_query"`
+}
+
+// PlannerSweepResult is RunPlannerSweep's outcome.
+type PlannerSweepResult struct {
+	Config PlannerSweepConfig   `json:"config"`
+	Arms   []string             `json:"arms"`
+	Phases []PlannerPhaseResult `json:"phases"`
+	// TotalIOPerQuery is the full-run io/query per arm.
+	TotalIOPerQuery map[string]float64 `json:"total_io_per_query"`
+	// RowsCompared counts retrieve results checked identical between the
+	// planner arm and each static arm.
+	RowsCompared int64 `json:"rows_compared"`
+	// PlannerStats is the planner arm's activity.
+	PlannerStats planner.Stats `json:"planner_stats"`
+}
+
+type sweepArm struct {
+	name string
+	db   *workload.DB
+	st   strategy.Strategy
+	// updater applies the composite write-through (cache-aware update +
+	// cluster layout), identical on every arm.
+	updater strategy.Strategy
+}
+
+// RunPlannerSweep executes the shifting-mix sweep. Deterministic in
+// cfg: the op stream, every arm's I/O, and the planner's decisions
+// replay exactly.
+func RunPlannerSweep(cfg PlannerSweepConfig) (*PlannerSweepResult, error) {
+	dbCfg := cfg.DB.WithDefaults()
+	if sf := dbCfg.ShareFactor(); sf != 1 {
+		return nil, fmt.Errorf("planner sweep: share factor must be 1 for cross-strategy row identity (got %d)", sf)
+	}
+	if len(cfg.Phases) == 0 {
+		return nil, fmt.Errorf("planner sweep: no phases")
+	}
+
+	// One op stream per phase, generated from a scratch build so every
+	// arm replays identical queries and updates.
+	gen, err := workload.Build(dbCfg)
+	if err != nil {
+		return nil, err
+	}
+	phaseOps := make([][]workload.Op, len(cfg.Phases))
+	for i, ph := range cfg.Phases {
+		phaseOps[i] = gen.GenSequence(ph.Retrieves, ph.PrUpdate, ph.NumTop)
+	}
+	gen.Close()
+
+	// Build the arms: every candidate static strategy plus the planner.
+	mkArm := func(kind strategy.Kind) (sweepArm, error) {
+		db, err := workload.Build(dbCfg)
+		if err != nil {
+			return sweepArm{}, err
+		}
+		upd, err := strategy.New(strategy.DFSCACHE, db)
+		if err != nil {
+			db.Close()
+			return sweepArm{}, err
+		}
+		a := sweepArm{db: db, updater: upd}
+		if kind == strategy.Planned {
+			pl, err := planner.NewPlanned(db, planner.New(planner.Config{
+				Shape: planner.ShapeOf(db),
+				Seed:  cfg.Seed,
+			}))
+			if err != nil {
+				db.Close()
+				return sweepArm{}, err
+			}
+			a.st, a.name = pl, strategy.Planned.String()
+			return a, nil
+		}
+		st, err := strategy.New(kind, db)
+		if err != nil {
+			db.Close()
+			return sweepArm{}, err
+		}
+		a.st, a.name = st, kind.String()
+		return a, nil
+	}
+
+	shape := planner.Shape{ShareFactor: 1, HasCache: dbCfg.CacheUnits > 0, HasCluster: dbCfg.Clustered}
+	kinds := planner.CandidateKinds(shape)
+	arms := make([]*sweepArm, 0, len(kinds)+1)
+	for _, k := range append(kinds, strategy.Planned) {
+		a, err := mkArm(k)
+		if err != nil {
+			return nil, err
+		}
+		arms = append(arms, &a)
+	}
+	defer func() {
+		for _, a := range arms {
+			a.db.Close()
+		}
+	}()
+	for _, a := range arms {
+		if err := a.db.ResetCold(); err != nil {
+			return nil, err
+		}
+	}
+	plArm := arms[len(arms)-1]
+
+	res := &PlannerSweepResult{
+		Config:          cfg,
+		TotalIOPerQuery: map[string]float64{},
+	}
+	for _, a := range arms {
+		res.Arms = append(res.Arms, a.name)
+	}
+
+	totIO := map[string]int64{}
+	totRetr := 0
+	for pi, ph := range cfg.Phases {
+		phIO := map[string]int64{}
+		retrieves, updates := 0, 0
+		for _, op := range phaseOps[pi] {
+			if op.Kind == workload.OpUpdate {
+				updates++
+				for _, a := range arms {
+					// Identical composite write-through on every arm; the
+					// planner arm's Update additionally feeds its warmth signal.
+					if a == plArm {
+						if err := a.st.Update(a.db, op); err != nil {
+							return nil, err
+						}
+						continue
+					}
+					if err := a.updater.Update(a.db, op); err != nil {
+						return nil, err
+					}
+					if a.db.ClusterRel != nil {
+						if err := a.db.ApplyUpdateCluster(op); err != nil {
+							return nil, err
+						}
+					}
+				}
+				continue
+			}
+			retrieves++
+			q := strategy.Query{Lo: op.Lo, Hi: op.Hi, AttrIdx: op.AttrIdx}
+			vals := make([][]int64, len(arms))
+			for ai, a := range arms {
+				r, err := a.st.Retrieve(a.db, q)
+				if err != nil {
+					return nil, fmt.Errorf("planner sweep: %s retrieve [%d,%d]: %w", a.name, q.Lo, q.Hi, err)
+				}
+				phIO[a.name] += r.Split.Total()
+				vals[ai] = sortedVals(r.Values)
+			}
+			// Row identity: planner vs every static arm (share factor 1, so
+			// all strategies agree as sorted multisets).
+			pv := vals[len(arms)-1]
+			for ai, a := range arms[:len(arms)-1] {
+				if !equalVals(pv, vals[ai]) {
+					return nil, fmt.Errorf("planner sweep: rows diverge between %s and %s on [%d,%d] attr %d",
+						a.name, plArm.name, q.Lo, q.Hi, q.AttrIdx)
+				}
+				res.RowsCompared++
+			}
+		}
+		pr := PlannerPhaseResult{
+			Name:       ph.Name,
+			Retrieves:  retrieves,
+			Updates:    updates,
+			IOPerQuery: map[string]float64{},
+		}
+		for _, a := range arms {
+			pr.IOPerQuery[a.name] = float64(phIO[a.name]) / float64(max(retrieves, 1))
+			totIO[a.name] += phIO[a.name]
+		}
+		totRetr += retrieves
+		res.Phases = append(res.Phases, pr)
+	}
+	for _, a := range arms {
+		res.TotalIOPerQuery[a.name] = float64(totIO[a.name]) / float64(max(totRetr, 1))
+	}
+	if pl, ok := plArm.st.(*planner.Planned); ok {
+		res.PlannerStats = pl.P.Stats()
+	}
+	return res, nil
+}
+
+// sortedVals (verify.go) is the order-insensitive row-identity
+// representation shared with the differential suite.
+
+func equalVals(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CheckPlannerSweep enforces the acceptance gates: per phase the
+// planner's io/query must be within PlannerPhaseSlack of the best
+// static arm, and over the full run strictly better than every static
+// arm.
+func (r *PlannerSweepResult) CheckPlannerSweep() error {
+	pl := strategy.Planned.String()
+	for _, ph := range r.Phases {
+		best := -1.0
+		for arm, v := range ph.IOPerQuery {
+			if arm == pl {
+				continue
+			}
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+		if got := ph.IOPerQuery[pl]; best >= 0 && got > best*PlannerPhaseSlack {
+			return fmt.Errorf("planner sweep: phase %q: planner %.2f io/query exceeds best static %.2f by more than %d%%",
+				ph.Name, got, best, int(100*(PlannerPhaseSlack-1)))
+		}
+	}
+	got := r.TotalIOPerQuery[pl]
+	for arm, v := range r.TotalIOPerQuery {
+		if arm == pl {
+			continue
+		}
+		if got >= v {
+			return fmt.Errorf("planner sweep: full run: planner %.2f io/query not strictly better than %s %.2f",
+				got, arm, v)
+		}
+	}
+	return nil
+}
+
+// BenchCells flattens the result for the bench envelope: one cell per
+// (phase, arm) plus full-run cells and a gate cell.
+func (r *PlannerSweepResult) BenchCells() []bench.Cell {
+	var cells []bench.Cell
+	for _, ph := range r.Phases {
+		for _, arm := range r.Arms {
+			cells = append(cells, bench.Cell{
+				Name:    fmt.Sprintf("planner|%s|%s", ph.Name, arm),
+				Metrics: map[string]float64{"io_per_query": ph.IOPerQuery[arm]},
+			})
+		}
+	}
+	for _, arm := range r.Arms {
+		cells = append(cells, bench.Cell{
+			Name:    fmt.Sprintf("planner|full|%s", arm),
+			Metrics: map[string]float64{"io_per_query": r.TotalIOPerQuery[arm]},
+		})
+	}
+	pl := strategy.Planned.String()
+	bestFull := -1.0
+	for arm, v := range r.TotalIOPerQuery {
+		if arm == pl {
+			continue
+		}
+		if bestFull < 0 || v < bestFull {
+			bestFull = v
+		}
+	}
+	gate := map[string]float64{
+		"rows_compared": float64(r.RowsCompared),
+		"switches":      float64(r.PlannerStats.Switches),
+		"probes":        float64(r.PlannerStats.Probes),
+	}
+	if bestFull > 0 {
+		gate["speedup"] = bestFull / r.TotalIOPerQuery[pl]
+	}
+	cells = append(cells, bench.Cell{Name: "planner|gate", Metrics: gate})
+	return cells
+}
+
+// WriteJSON writes the sweep wrapped in the versioned envelope.
+func (r *PlannerSweepResult) WriteJSON(w io.Writer) error {
+	env, err := bench.New("planner", r, r.BenchCells())
+	if err != nil {
+		return err
+	}
+	return env.WriteJSON(w)
+}

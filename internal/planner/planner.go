@@ -1,0 +1,493 @@
+// Package planner is the cost-based strategy optimizer: where SMART is a
+// one-knob hybrid (DFSCACHE below a NumTop threshold, breadth-first
+// above it), the planner treats every static strategy as a candidate
+// plan, estimates each one's I/O per query from analytic priors plus
+// online decayed observations, and picks the argmin — re-estimating as
+// the update/retrieve mix shifts, so the choice tracks the workload
+// instead of a fixed threshold.
+//
+// Two planning surfaces share the model machinery:
+//
+//   - Planner + Planned (adapter.go): per-query choice among the
+//     workload strategies DFS/BFS/BFSNODUP/DFSCACHE/DFSCLUST.
+//   - PathModel (path.go): per-sub-path traversal choice (probe vs
+//     batched fetch) inside the pql streaming executor's expansion
+//     operator, for multi-dot paths like group.members.name.
+//
+// Determinism is a design constraint: no randomness anywhere, ties
+// break in Kind order, and the only state is the decayed estimator
+// table — two planners fed the same observation sequence from the same
+// seed produce the same decision sequence (the replay property the
+// property tests pin down).
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"corep/internal/obs"
+	"corep/internal/strategy"
+)
+
+// MinEvidence is the decayed observation weight below which a cell's
+// estimate falls back to the analytic prior. Two effects hang off it:
+// staleness fade (model.go) drops long-unobserved arms back to their
+// priors instead of trusting obsolete measurements, and — because it
+// takes several observations to clear the threshold — an arm whose
+// prior is attractive keeps being tried for a few queries before its
+// measured cost takes over. That grace period is what lets a
+// state-dependent strategy (DFSCACHE warming its cache) show its
+// steady-state cost rather than being written off on one cold probe.
+const MinEvidence = 3.0
+
+// SwitchMargin is the hysteresis band: the incumbent choice for a
+// bucket is kept unless some other arm's estimate undercuts it by more
+// than this fraction. Sticking with the incumbent keeps state-dependent
+// strategies honest (a cache only warms if it keeps being used) and
+// stops thrash between near-equal arms.
+const SwitchMargin = 0.10
+
+// ProbeWorthFactor bounds exploration: an arm is only probed (warmup or
+// periodic) while its estimate is within this factor of the current
+// best. Re-estimation matters near the decision boundary; measuring an
+// arm whose prior is hopeless just pays its cost for nothing.
+const ProbeWorthFactor = 3.0
+
+// Config parameterizes a Planner.
+type Config struct {
+	// Shape describes the database the plans run against (ShapeOf).
+	Shape Shape
+
+	// Candidates restricts the kinds considered; empty means every kind
+	// the shape supports (see CandidateKinds).
+	Candidates []strategy.Kind
+
+	// Seed rotates the warmup/probe order so plans are replayable from a
+	// seed without being tied to one fixed exploration order.
+	Seed int64
+
+	// ProbeEvery forces one re-observation of the least-recently-measured
+	// candidate every N choices within a NumTop bucket, keeping estimates
+	// of unchosen arms grounded as the mix shifts. 0 uses
+	// DefaultProbeEvery; negative disables probing entirely.
+	ProbeEvery int
+
+	// HalfLife is the staleness half-life in choices: a cell unobserved
+	// for HalfLife choices has its evidence weight halved. 0 uses
+	// DefaultHalfLife.
+	HalfLife int
+}
+
+// DefaultProbeEvery re-probes a stale arm every 64 choices per bucket.
+const DefaultProbeEvery = 64
+
+// DefaultHalfLife fades unrefreshed evidence with a 512-choice half-life.
+const DefaultHalfLife = 512
+
+// Estimate is one candidate's scored plan.
+type Estimate struct {
+	Kind strategy.Kind `json:"kind"`
+	// IO is the estimated pages per query.
+	IO float64 `json:"io"`
+	// Observed reports whether the estimate comes from live measurements
+	// (true) or the analytic prior (false).
+	Observed bool `json:"observed"`
+}
+
+// Decision is the outcome of one Choose call.
+type Decision struct {
+	Kind strategy.Kind `json:"kind"`
+	// Est is the chosen candidate's estimate.
+	Est Estimate `json:"est"`
+	// Probe marks a forced exploration choice (warmup or periodic
+	// re-probe) rather than an argmin exploitation.
+	Probe bool `json:"probe,omitempty"`
+	// Alternatives lists every candidate's estimate, in candidate order.
+	Alternatives []Estimate `json:"alternatives,omitempty"`
+}
+
+// Stats counts a planner's activity. Retrieve them with Planner.Stats.
+type Stats struct {
+	Choices  int64 `json:"choices"`
+	Probes   int64 `json:"probes"`
+	Observed int64 `json:"observed"`
+	Switches int64 `json:"switches"` // choice differed from the bucket's previous choice
+	Updates  int64 `json:"updates"`  // update ops noted (cache-warmth signal)
+	Seeded   int64 `json:"seeded"`   // cells primed from a metrics registry
+}
+
+// Planner chooses a workload strategy per query. Safe for concurrent
+// use: all state sits behind one mutex, and the obs registry it can
+// seed from is itself thread-safe.
+type Planner struct {
+	mu    sync.Mutex
+	cfg   Config
+	cands []strategy.Kind
+	model model
+	stats Stats
+
+	// lastChoice remembers each bucket's previous decision for the
+	// Switches counter.
+	lastChoice map[int]strategy.Kind
+	// bucketSeq counts choices per bucket for the probe schedule.
+	bucketSeq map[int]int64
+	// warmth estimates the steady-state fraction of the queried working
+	// set the outside cache can serve — pulled toward observed DFSCACHE
+	// hit rates, cut by update invalidations (NoteUpdate). It starts
+	// optimistic (1.0, capacity-capped in the prior): the cache deserves
+	// the benefit of the doubt until live hit rates say otherwise, since
+	// a cold first probe systematically understates a cache that would
+	// have warmed under sustained use.
+	warmth float64
+}
+
+// New builds a planner for the given configuration.
+func New(cfg Config) *Planner {
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = DefaultProbeEvery
+	}
+	if cfg.HalfLife == 0 {
+		cfg.HalfLife = DefaultHalfLife
+	}
+	cands := cfg.Candidates
+	if len(cands) == 0 {
+		cands = CandidateKinds(cfg.Shape)
+	}
+	return &Planner{
+		cfg:        cfg,
+		cands:      cands,
+		model:      newModel(float64(cfg.HalfLife)),
+		lastChoice: map[int]strategy.Kind{},
+		bucketSeq:  map[int]int64{},
+		warmth:     1,
+	}
+}
+
+// CandidateKinds returns the static kinds a database shape can execute
+// while preserving query semantics: BFSNODUP eliminates duplicate
+// subobjects, so it is only plan-equivalent to the other strategies
+// when the share factor is 1 (no subobject can appear under two
+// selected parents); DFSCACHE needs the cache, DFSCLUST the cluster
+// relation. SMART is excluded — the planner subsumes it.
+func CandidateKinds(s Shape) []strategy.Kind {
+	out := []strategy.Kind{strategy.DFS, strategy.BFS}
+	if s.ShareFactor <= 1 {
+		out = append(out, strategy.BFSNODUP)
+	}
+	if s.HasCache {
+		out = append(out, strategy.DFSCACHE)
+	}
+	if s.HasCluster {
+		out = append(out, strategy.DFSCLUST)
+	}
+	return out
+}
+
+// Candidates returns the planner's candidate kinds.
+func (p *Planner) Candidates() []strategy.Kind {
+	return append([]strategy.Kind(nil), p.cands...)
+}
+
+// bucketOf maps NumTop onto a log₂ bucket, so estimates generalize
+// across nearby query widths without conflating 1-parent probes with
+// 1000-parent scans.
+func bucketOf(numTop int) int {
+	if numTop < 1 {
+		numTop = 1
+	}
+	b := 0
+	for numTop > 1 {
+		numTop >>= 1
+		b++
+	}
+	return b
+}
+
+// Choose picks the strategy for a query selecting numTop parents. The
+// decision is deterministic in (config, observation history).
+func (p *Planner) Choose(numTop int) Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	bucket := bucketOf(numTop)
+	seq := p.bucketSeq[bucket]
+	p.bucketSeq[bucket] = seq + 1
+	p.stats.Choices++
+
+	ests := make([]Estimate, len(p.cands))
+	for i, k := range p.cands {
+		mean, evid := p.model.estimate(int(k), bucket)
+		if evid {
+			ests[i] = Estimate{Kind: k, IO: mean, Observed: true}
+		} else {
+			ests[i] = Estimate{Kind: k, IO: p.prior(k, numTop), Observed: false}
+		}
+	}
+
+	// Argmin estimated I/O; ties break toward the lower Kind so plans
+	// are stable and replayable.
+	best := 0
+	for i := 1; i < len(ests); i++ {
+		if ests[i].IO < ests[best].IO {
+			best = i
+		}
+	}
+
+	// Warmup: a candidate never measured in this bucket is probed before
+	// its estimate is trusted — but only while its prior sits within
+	// ProbeWorthFactor of the best, so hopeless plans are never paid for.
+	// Seed-rotated order keeps plans replayable from a seed without a
+	// fixed exploration order.
+	rot := int(p.cfg.Seed%int64(len(p.cands))+int64(len(p.cands))) % len(p.cands)
+	for i := range p.cands {
+		j := (i + rot) % len(p.cands)
+		if !p.model.everObserved(int(p.cands[j]), bucket) && ests[j].IO <= ests[best].IO*ProbeWorthFactor {
+			p.stats.Probes++
+			d := Decision{Kind: p.cands[j], Est: ests[j], Probe: true, Alternatives: ests}
+			p.noteChoice(bucket, d.Kind)
+			return d
+		}
+	}
+
+	// Periodic probe: re-measure the least-recently-observed arm near
+	// the decision boundary so idle estimates stay grounded as the mix
+	// shifts.
+	if p.cfg.ProbeEvery > 0 && seq%int64(p.cfg.ProbeEvery) == int64(p.cfg.ProbeEvery)-1 {
+		j, oldest := -1, int64(0)
+		for i, k := range p.cands {
+			if ests[i].IO > ests[best].IO*ProbeWorthFactor {
+				continue
+			}
+			last := p.model.lastObserved(int(k), bucket)
+			if j < 0 || last < oldest {
+				j, oldest = i, last
+			}
+		}
+		if j >= 0 && p.cands[j] != p.cands[best] {
+			p.stats.Probes++
+			d := Decision{Kind: p.cands[j], Est: ests[j], Probe: true, Alternatives: ests}
+			p.noteChoice(bucket, d.Kind)
+			return d
+		}
+	}
+
+	// Exploit, with hysteresis: keep the bucket's incumbent unless the
+	// best alternative undercuts it by more than SwitchMargin.
+	choice := best
+	if inc, ok := p.lastChoice[bucket]; ok {
+		for i, k := range p.cands {
+			if k == inc && ests[i].IO <= ests[best].IO*(1+SwitchMargin) {
+				choice = i
+				break
+			}
+		}
+	}
+	d := Decision{Kind: p.cands[choice], Est: ests[choice], Alternatives: ests}
+	p.noteChoice(bucket, d.Kind)
+	return d
+}
+
+func (p *Planner) noteChoice(bucket int, k strategy.Kind) {
+	if prev, ok := p.lastChoice[bucket]; ok && prev != k {
+		p.stats.Switches++
+	}
+	p.lastChoice[bucket] = k
+}
+
+// Observe feeds one measured execution back: kind answered a
+// numTop-parent query in io pages. Advances the staleness clock.
+func (p *Planner) Observe(kind strategy.Kind, numTop int, io int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Observed++
+	p.model.observe(int(kind), bucketOf(numTop), float64(io))
+}
+
+// Warmth filter gains: rises are tracked quickly, drops slowly. The
+// asymmetry is deliberate — between updates the cached unit set only
+// grows, so the achievable hit rate is monotone non-decreasing and a
+// low reading from a still-warming cache systematically understates
+// where sustained use would land. Trusting cold readings at full
+// weight is exactly the feedback loop that writes the cache off before
+// it ever warms (the planner stops choosing DFSCACHE, so the rate
+// never recovers). Genuine regressions still propagate: updates cut
+// warmth directly (NoteUpdate), and once a cell has real evidence the
+// observed mean outranks the warmth-driven prior anyway.
+const (
+	warmthRise = 0.5
+	warmthFall = 0.05
+)
+
+// ObserveHitRate folds a DFSCACHE run's observed cache hit rate into the
+// warmth signal that parameterizes the DFSCACHE prior.
+func (p *Planner) ObserveHitRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	p.mu.Lock()
+	if rate >= p.warmth {
+		p.warmth += warmthRise * (rate - p.warmth)
+	} else {
+		p.warmth += warmthFall * (rate - p.warmth)
+	}
+	p.mu.Unlock()
+}
+
+// NoteUpdate records an update touching n subobjects: every touched
+// unit is invalidated from the outside cache, so warmth decays in
+// proportion to the cache's capacity.
+func (p *Planner) NoteUpdate(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Updates++
+	if p.cfg.Shape.CacheUnits <= 0 {
+		return
+	}
+	f := 1 - float64(n)/float64(p.cfg.Shape.CacheUnits)
+	if f < 0 {
+		f = 0
+	}
+	p.warmth *= f
+}
+
+// DecayEvidence multiplies every cell's evidence weight by f ∈ (0,1] —
+// the histogram-decay hook. Means are untouched, so decisions are
+// invariant as long as cells keep MinEvidence weight (the
+// scale-invariance property test).
+func (p *Planner) DecayEvidence(f float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.model.decayAll(f)
+}
+
+// Warmth returns the current cache-warmth estimate (the DFSCACHE
+// prior's hit-rate parameter).
+func (p *Planner) Warmth() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.warmth
+}
+
+// Stats returns a copy of the activity counters.
+func (p *Planner) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Estimates returns every candidate's current estimate for a
+// numTop-parent query, without recording a choice — the explain surface.
+func (p *Planner) Estimates(numTop int) []Estimate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	bucket := bucketOf(numTop)
+	out := make([]Estimate, len(p.cands))
+	for i, k := range p.cands {
+		mean, evid := p.model.estimate(int(k), bucket)
+		if evid {
+			out[i] = Estimate{Kind: k, IO: mean, Observed: true}
+		} else {
+			out[i] = Estimate{Kind: k, IO: p.prior(k, numTop), Observed: false}
+		}
+	}
+	return out
+}
+
+// SeedFromRegistry primes estimator cells from a harness metrics
+// registry: every per-(strategy, SF, NumTop) retrieve-I/O histogram the
+// harness aggregates (cells named like "DFSCACHE|SF=5|NT=300|retrieve.io")
+// whose share factor matches the planner's shape becomes prior evidence
+// for that (kind, bucket) cell. The registry is internally synchronized,
+// so seeding is safe while serving threads keep observing into it.
+func (p *Planner) SeedFromRegistry(reg *obs.Registry) int {
+	pts := reg.Points()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, pt := range pts {
+		if pt.Kind != "histogram" || pt.Count == 0 {
+			continue
+		}
+		kind, sf, numTop, ok := parseCellName(pt.Name)
+		if !ok || sf != p.cfg.Shape.ShareFactor {
+			continue
+		}
+		found := false
+		for _, k := range p.cands {
+			if k == kind {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		p.model.seed(int(kind), bucketOf(numTop), pt.Sum/float64(pt.Count))
+		n++
+	}
+	p.stats.Seeded += int64(n)
+	return n
+}
+
+// parseCellName decodes harness metric names of the form
+// "<KIND>|SF=<n>|NT=<n>|retrieve.io" (or "…|query.io" for cells
+// measured before the retrieve/update split existed).
+func parseCellName(name string) (strategy.Kind, int, int, bool) {
+	parts := strings.Split(name, "|")
+	if len(parts) != 4 {
+		return 0, 0, 0, false
+	}
+	if parts[3] != "retrieve.io" && parts[3] != "query.io" {
+		return 0, 0, 0, false
+	}
+	var kind strategy.Kind
+	found := false
+	for _, k := range strategy.AllKindsWithAblations {
+		if k.String() == parts[0] {
+			kind, found = k, true
+			break
+		}
+	}
+	if !found {
+		return 0, 0, 0, false
+	}
+	sf, err := strconv.Atoi(strings.TrimPrefix(parts[1], "SF="))
+	if err != nil {
+		return 0, 0, 0, false
+	}
+	nt, err := strconv.Atoi(strings.TrimPrefix(parts[2], "NT="))
+	if err != nil {
+		return 0, 0, 0, false // "NT=mix" cells carry no single width
+	}
+	return kind, sf, nt, true
+}
+
+// String renders the estimator table for debugging and \plan output.
+func (p *Planner) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "planner: %d choices (%d probes, %d switches), %d observed, warmth %.2f\n",
+		p.stats.Choices, p.stats.Probes, p.stats.Switches, p.stats.Observed, p.warmth)
+	keys := make([]cellKey, 0, len(p.model.cells))
+	for k := range p.model.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bucket != keys[j].bucket {
+			return keys[i].bucket < keys[j].bucket
+		}
+		return keys[i].arm < keys[j].arm
+	})
+	for _, k := range keys {
+		c := p.model.cells[k]
+		fmt.Fprintf(&b, "  nt≈2^%-2d %-10s mean=%-8.2f weight=%.2f\n",
+			k.bucket, strategy.Kind(k.arm), c.mean, c.weight)
+	}
+	return b.String()
+}

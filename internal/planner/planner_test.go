@@ -1,0 +1,391 @@
+package planner
+
+import (
+	"testing"
+
+	"corep/internal/obs"
+	"corep/internal/strategy"
+)
+
+// testShape is a small database shape on which every candidate kind is
+// executable (cache and cluster present, share factor 1).
+func testShape() Shape {
+	return Shape{
+		ParentHeight: 2, ParentLeaves: 24,
+		ChildHeight: 3, ChildLeaves: 120,
+		SizeUnit: 5, ShareFactor: 1, NumChildRel: 1,
+		HasCache: true, CacheUnits: 1500,
+		HasCluster: true, ClusterHeight: 2, ClusterCoverage: 1,
+	}
+}
+
+func TestCandidateKinds(t *testing.T) {
+	s := testShape()
+	got := CandidateKinds(s)
+	want := []strategy.Kind{strategy.DFS, strategy.BFS, strategy.BFSNODUP, strategy.DFSCACHE, strategy.DFSCLUST}
+	if len(got) != len(want) {
+		t.Fatalf("CandidateKinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CandidateKinds = %v, want %v", got, want)
+		}
+	}
+
+	s.ShareFactor = 5
+	for _, k := range CandidateKinds(s) {
+		if k == strategy.BFSNODUP {
+			t.Fatal("BFSNODUP offered at share factor 5: it drops duplicate subobjects, so its rows diverge from the other plans")
+		}
+	}
+	s = testShape()
+	s.HasCache = false
+	for _, k := range CandidateKinds(s) {
+		if k == strategy.DFSCACHE {
+			t.Fatal("DFSCACHE offered without a cache")
+		}
+	}
+	s = testShape()
+	s.HasCluster = false
+	for _, k := range CandidateKinds(s) {
+		if k == strategy.DFSCLUST {
+			t.Fatal("DFSCLUST offered without a cluster relation")
+		}
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 8: 3, 512: 9, 1000: 9}
+	for nt, want := range cases {
+		if got := bucketOf(nt); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", nt, got, want)
+		}
+	}
+}
+
+// TestDominatedNeverChosen is the monotonicity property: once every arm
+// has real evidence, a strictly dominated arm (everyone measures
+// cheaper) is never picked by a non-probe decision.
+func TestDominatedNeverChosen(t *testing.T) {
+	p := New(Config{Shape: testShape(), Seed: 3})
+	const nt = 8
+	// Give every arm solid evidence; BFS dominates, DFS is dominated.
+	cost := map[strategy.Kind]int64{
+		strategy.DFS: 500, strategy.BFS: 20, strategy.BFSNODUP: 40,
+		strategy.DFSCACHE: 60, strategy.DFSCLUST: 80,
+	}
+	for i := 0; i < 10; i++ {
+		for _, k := range p.Candidates() {
+			p.Observe(k, nt, cost[k])
+		}
+	}
+	for i := 0; i < 200; i++ {
+		d := p.Choose(nt)
+		if d.Probe {
+			// Probes re-measure near the boundary; a dominated arm must not
+			// even be probed once its estimate sits beyond ProbeWorthFactor.
+			if d.Kind == strategy.DFS {
+				t.Fatalf("choice %d probed DFS, estimated %.0f vs best 20 — outside the probe-worth bound", i, d.Est.IO)
+			}
+			p.Observe(d.Kind, nt, cost[d.Kind])
+			continue
+		}
+		if d.Kind != strategy.BFS {
+			t.Fatalf("choice %d exploited %s (est %.1f), want dominant BFS", i, d.Kind, d.Est.IO)
+		}
+		// The exploit invariant: the chosen estimate stays within the
+		// hysteresis band of the argmin.
+		min := d.Est.IO
+		for _, e := range d.Alternatives {
+			if e.IO < min {
+				min = e.IO
+			}
+		}
+		if d.Est.IO > min*(1+SwitchMargin) {
+			t.Fatalf("choice %d picked est %.1f, argmin %.1f: outside the hysteresis band", i, d.Est.IO, min)
+		}
+		p.Observe(d.Kind, nt, cost[d.Kind])
+	}
+}
+
+// TestScaleInvariance: uniformly rescaling evidence weights (histogram
+// decay) leaves estimates and the resulting decision unchanged as long
+// as cells keep MinEvidence — the estimate is a step function of
+// weight, and means are untouched. Once decay pushes a cell below the
+// threshold, its estimate reverts to the analytic prior.
+func TestScaleInvariance(t *testing.T) {
+	mk := func() *Planner { return New(Config{Shape: testShape(), Seed: 11}) }
+	a, b := mk(), mk()
+	const nt = 16
+	costs := map[strategy.Kind]int64{
+		strategy.DFS: 90, strategy.BFS: 35, strategy.BFSNODUP: 45,
+		strategy.DFSCACHE: 30, strategy.DFSCLUST: 70,
+	}
+	for i := 0; i < 20; i++ {
+		for _, k := range a.Candidates() {
+			a.Observe(k, nt, costs[k])
+			b.Observe(k, nt, costs[k])
+		}
+	}
+	// After 20 observations a cell's weight is ~5 (the decayPerObs
+	// geometric limit); 0.8× keeps it ≈4 ≥ MinEvidence.
+	b.DecayEvidence(0.8)
+	ea, eb := a.Estimates(nt), b.Estimates(nt)
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("estimate %d changed under weight rescale: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	da, db := a.Choose(nt), b.Choose(nt)
+	if da.Kind != db.Kind || da.Probe != db.Probe {
+		t.Fatalf("decision diverged after weight rescale: %s/probe=%v vs %s/probe=%v",
+			da.Kind, da.Probe, db.Kind, db.Probe)
+	}
+	// Decaying below MinEvidence is the semantic boundary: estimates fall
+	// back to the analytic priors.
+	b.DecayEvidence(0.1)
+	for _, e := range b.Estimates(nt) {
+		if e.Observed {
+			t.Fatalf("estimate %+v still trusted after decaying weights to ~0.4", e)
+		}
+	}
+}
+
+// TestDeterministicReplay: two planners with the same seed fed the same
+// observation sequence produce the same decision sequence — there is no
+// hidden randomness.
+func TestDeterministicReplay(t *testing.T) {
+	for _, seed := range []int64{0, 1, 7, -3} {
+		mk := func() *Planner { return New(Config{Shape: testShape(), Seed: seed}) }
+		a, b := mk(), mk()
+		// Synthetic costs: deterministic in (kind, step), shifting over time
+		// so switches and staleness fades both occur.
+		cost := func(k strategy.Kind, i int) int64 {
+			base := int64(20 + 13*int64(k)%57)
+			if i > 150 {
+				base = 120 - base%90 // regime shift mid-run
+			}
+			return base + int64(i%7)
+		}
+		for i := 0; i < 300; i++ {
+			nt := []int{4, 8, 256}[i%3]
+			da, db := a.Choose(nt), b.Choose(nt)
+			if da.Kind != db.Kind || da.Probe != db.Probe || da.Est != db.Est {
+				t.Fatalf("seed %d step %d: decisions diverged: %+v vs %+v", seed, i, da, db)
+			}
+			c := cost(da.Kind, i)
+			a.Observe(da.Kind, nt, c)
+			b.Observe(db.Kind, nt, c)
+			if i%50 == 49 {
+				a.ObserveHitRate(0.6)
+				b.ObserveHitRate(0.6)
+				a.NoteUpdate(3)
+				b.NoteUpdate(3)
+			}
+		}
+		sa, sb := a.Stats(), b.Stats()
+		if sa != sb {
+			t.Fatalf("seed %d: stats diverged: %+v vs %+v", seed, sa, sb)
+		}
+	}
+}
+
+// TestStalenessFallsBackToPrior: an arm that stops being observed fades
+// below MinEvidence and its estimate reverts to the analytic prior.
+func TestStalenessFallsBackToPrior(t *testing.T) {
+	p := New(Config{Shape: testShape(), Seed: 0, HalfLife: 16})
+	const nt = 8
+	for i := 0; i < 10; i++ {
+		p.Observe(strategy.BFS, nt, 40)
+	}
+	found := func() Estimate {
+		for _, e := range p.Estimates(nt) {
+			if e.Kind == strategy.BFS {
+				return e
+			}
+		}
+		t.Fatal("BFS missing from estimates")
+		return Estimate{}
+	}
+	if e := found(); !e.Observed {
+		t.Fatalf("BFS estimate not observed after 10 measurements: %+v", e)
+	}
+	// Age the cell far past the half-life by observing another arm.
+	for i := 0; i < 200; i++ {
+		p.Observe(strategy.DFS, nt, 90)
+	}
+	if e := found(); e.Observed {
+		t.Fatalf("BFS estimate still trusted after 200 choices unobserved (half-life 16): %+v", e)
+	}
+}
+
+// TestWarmthDynamics: warmth rises quickly on good hit rates, resists
+// cold readings, and is cut by update invalidations.
+func TestWarmthDynamics(t *testing.T) {
+	p := New(Config{Shape: testShape()})
+	if w := p.Warmth(); w != 1 {
+		t.Fatalf("initial warmth = %v, want optimistic 1", w)
+	}
+	// A few cold readings barely move it (the cache deserves time to warm).
+	for i := 0; i < 3; i++ {
+		p.ObserveHitRate(0)
+	}
+	if w := p.Warmth(); w < 0.75 {
+		t.Fatalf("warmth %.2f collapsed after 3 cold readings; the fall gain should resist transients", w)
+	}
+	// Sustained cold readings do get through eventually.
+	for i := 0; i < 200; i++ {
+		p.ObserveHitRate(0)
+	}
+	low := p.Warmth()
+	if low > 0.1 {
+		t.Fatalf("warmth %.2f still high after 200 cold readings", low)
+	}
+	// Rises are tracked fast.
+	p.ObserveHitRate(0.9)
+	p.ObserveHitRate(0.9)
+	if w := p.Warmth(); w < 0.6 {
+		t.Fatalf("warmth %.2f slow to recover on good hit rates", w)
+	}
+	// Updates invalidate cached units in proportion to capacity.
+	before := p.Warmth()
+	p.NoteUpdate(p.cfg.Shape.CacheUnits / 2)
+	if w := p.Warmth(); w > before*0.51 {
+		t.Fatalf("warmth %.2f after invalidating half the cache (was %.2f)", w, before)
+	}
+}
+
+// TestPriorOrdering sanity-checks the analytic priors' relative order in
+// the regimes the paper's figures pin down.
+func TestPriorOrdering(t *testing.T) {
+	// With a clean cluster layout at share factor 1, every subobject
+	// rides the parent scan: DFSCLUST is the cheapest narrow plan.
+	p := New(Config{Shape: testShape()})
+	argmin := func(ests []Estimate) Estimate {
+		min := ests[0]
+		for _, e := range ests {
+			if e.IO < min.IO {
+				min = e
+			}
+		}
+		return min
+	}
+	if m := argmin(p.Estimates(8)); m.Kind != strategy.DFSCLUST {
+		t.Fatalf("clean-cluster narrow argmin = %s, want DFSCLUST", m.Kind)
+	}
+	// Scatter the layout and the warm cache takes over.
+	scat := testShape()
+	scat.ClusterCoverage = 0
+	pScat := New(Config{Shape: scat, Seed: 2})
+	if m := argmin(pScat.Estimates(8)); m.Kind != strategy.DFSCACHE {
+		t.Fatalf("scattered narrow warm-cache argmin = %s, want DFSCACHE; ests %+v", m.Kind, pScat.Estimates(8))
+	}
+
+	// A scattered cluster layout must cost DFSCLUST more than a clean one.
+	clean := p.prior(strategy.DFSCLUST, 64)
+	sc := testShape()
+	sc.ClusterCoverage = 0
+	ps := New(Config{Shape: sc})
+	scattered := ps.prior(strategy.DFSCLUST, 64)
+	if scattered <= clean {
+		t.Fatalf("scattered DFSCLUST prior %.1f not above clean %.1f", scattered, clean)
+	}
+
+	// Cold cache (warmth ~0): DFSCACHE approaches DFS plus insert cost.
+	pc := New(Config{Shape: testShape()})
+	for i := 0; i < 500; i++ {
+		pc.ObserveHitRate(0)
+	}
+	if cold, dfs := pc.prior(strategy.DFSCACHE, 8), pc.prior(strategy.DFS, 8); cold < dfs {
+		t.Fatalf("cold-cache DFSCACHE prior %.1f below DFS %.1f: misses cost probes plus insert", cold, dfs)
+	}
+}
+
+func TestSeedFromRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("DFSCACHE|SF=1|NT=8|retrieve.io", obs.IOBuckets)
+	for i := 0; i < 4; i++ {
+		h.Observe(24)
+	}
+	// Wrong share factor and non-candidate kinds are skipped.
+	reg.Histogram("BFS|SF=5|NT=8|retrieve.io", obs.IOBuckets).Observe(100)
+	reg.Histogram("SMART|SF=1|NT=8|retrieve.io", obs.IOBuckets).Observe(100)
+	reg.Histogram("BFS|SF=1|NT=mix|retrieve.io", obs.IOBuckets).Observe(100)
+
+	p := New(Config{Shape: testShape(), Seed: 1})
+	if n := p.SeedFromRegistry(reg); n != 1 {
+		t.Fatalf("SeedFromRegistry primed %d cells, want 1", n)
+	}
+	mean, evid := p.model.estimate(int(strategy.DFSCACHE), bucketOf(8))
+	if !evid || mean != 24 {
+		t.Fatalf("seeded cell = (%.1f, %v), want (24, true)", mean, evid)
+	}
+	// Seeding never sets ever: the arm still gets a live warmup probe.
+	if p.model.everObserved(int(strategy.DFSCACHE), bucketOf(8)) {
+		t.Fatal("seeding marked the cell as live-observed")
+	}
+	// Live evidence outranks a later seed.
+	p.Observe(strategy.DFSCACHE, 8, 48)
+	p.SeedFromRegistry(reg)
+	mean, _ = p.model.estimate(int(strategy.DFSCACHE), bucketOf(8))
+	if mean == 24 {
+		t.Fatal("re-seeding overwrote live evidence")
+	}
+}
+
+func TestParseCellName(t *testing.T) {
+	k, sf, nt, ok := parseCellName("DFSCLUST|SF=2|NT=300|retrieve.io")
+	if !ok || k != strategy.DFSCLUST || sf != 2 || nt != 300 {
+		t.Fatalf("parseCellName = %v %d %d %v", k, sf, nt, ok)
+	}
+	for _, bad := range []string{
+		"DFSCLUST|SF=2|NT=300|update.io", // wrong metric
+		"NOPE|SF=2|NT=300|retrieve.io",   // unknown kind
+		"DFS|SF=x|NT=300|retrieve.io",    // bad SF
+		"DFS|SF=2|NT=mix|retrieve.io",    // mixed-width cell
+		"retrieve.io",                    // wrong arity
+	} {
+		if _, _, _, ok := parseCellName(bad); ok {
+			t.Fatalf("parseCellName accepted %q", bad)
+		}
+	}
+}
+
+func TestPathModelWarmupAndConvergence(t *testing.T) {
+	pm := NewPathModel(3)
+	// Warmup: both traversals tried once per (rel, fanout-bucket).
+	tr1, _ := pm.ChooseTraversal(7, 16)
+	pm.ObserveTraversal(7, tr1, 16, 40)
+	tr2, _ := pm.ChooseTraversal(7, 16)
+	pm.ObserveTraversal(7, tr2, 16, 4)
+	if tr1 == tr2 {
+		t.Fatalf("warmup reused traversal %v before trying the alternative", tr1)
+	}
+	// With tr2 measured 10× cheaper, it wins from here on.
+	for i := 0; i < 50; i++ {
+		tr, _ := pm.ChooseTraversal(7, 16)
+		cost := int64(40)
+		if tr == tr2 {
+			cost = 4
+		}
+		pm.ObserveTraversal(7, tr, 16, cost)
+	}
+	tr, est := pm.ChooseTraversal(7, 16)
+	if tr != tr2 {
+		t.Fatalf("converged on %v (est %.1f), want the measured-cheap traversal %v", tr, est, tr2)
+	}
+	probe, batch, warm := pm.Counts()
+	if probe+batch == 0 || warm == 0 {
+		t.Fatalf("counts: probe=%d batch=%d warmup=%d", probe, batch, warm)
+	}
+}
+
+func TestPow2(t *testing.T) {
+	cases := map[float64]float64{0: 1, -1: 0.5, -2: 0.25, -0.5: 0.7071, -3.5: 0.0884}
+	for x, want := range cases {
+		got := pow2(x)
+		if got < want*0.97 || got > want*1.03 {
+			t.Errorf("pow2(%v) = %v, want ≈%v", x, got, want)
+		}
+	}
+}

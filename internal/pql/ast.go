@@ -12,14 +12,32 @@ type Query struct {
 	Where   Expr // nil when absent
 }
 
-// Target is one entry of the target list: rel.attr or rel.all.
+// Target is one entry of the target list: rel.attr, rel.all, or a
+// multi-dot path rel.attr.seg… (e.g. group.members.name) that traverses
+// children attributes — Attr is the first step, Path the rest.
 type Target struct {
 	Rel  string
 	Attr string // "all" expands to every attribute
+	// Path holds the segments after Attr for multi-dot targets; the last
+	// segment names the attribute projected from the traversed
+	// subobjects, the ones before it further children attributes.
+	Path []string
 }
 
 // All reports whether the target is rel.all.
 func (t Target) All() bool { return strings.EqualFold(t.Attr, "all") }
+
+// Pathy reports whether the target is a multi-dot path.
+func (t Target) Pathy() bool { return len(t.Path) > 0 }
+
+// String renders the target as it was written.
+func (t Target) String() string {
+	s := t.Rel + "." + t.Attr
+	for _, seg := range t.Path {
+		s += "." + seg
+	}
+	return s
+}
 
 // Expr is a boolean where-clause expression.
 type Expr interface {
@@ -128,7 +146,7 @@ func (q *Query) String() string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		b.WriteString(t.Rel + "." + t.Attr)
+		b.WriteString(t.String())
 	}
 	b.WriteString(")")
 	if q.Where != nil {
@@ -223,7 +241,18 @@ func (p *parser) target() (Target, error) {
 	if err != nil {
 		return Target{}, err
 	}
-	return Target{Rel: rel.text, Attr: attr.text}, nil
+	t := Target{Rel: rel.text, Attr: attr.text}
+	// Further '.' segments make a multi-dot path through children
+	// attributes (group.members.name).
+	for p.peek().kind == tokDot {
+		p.next()
+		seg, err := p.expect(tokIdent, "path segment")
+		if err != nil {
+			return Target{}, err
+		}
+		t.Path = append(t.Path, seg.text)
+	}
+	return t, nil
 }
 
 func (p *parser) orExpr() (Expr, error) {

@@ -33,19 +33,11 @@ var ErrExec = errors.New("pql: execution error")
 
 // Execute runs a parsed query against cat and materializes the result.
 // Supported shapes — which cover the paper's procedural attributes — are
-// single-relation selections and two-relation joins.
+// single-relation selections, two-relation joins, and multi-dot path
+// queries (one path target; see iter.go). Planned execution goes
+// through ExecuteWith; Execute is the unplanned executor.
 func Execute(cat *catalog.Catalog, q *Query) (*Result, error) {
-	rels := q.Relations()
-	switch len(rels) {
-	case 0:
-		return nil, fmt.Errorf("%w: query references no relations", ErrExec)
-	case 1:
-		return execSingle(cat, q, rels[0])
-	case 2:
-		return execJoin(cat, q, rels[0], rels[1])
-	default:
-		return nil, fmt.Errorf("%w: %d-relation queries not supported", ErrExec, len(rels))
-	}
+	return ExecuteWith(cat, q, ExecOpts{})
 }
 
 // Run parses and executes src in one step — the call sites that evaluate
@@ -309,6 +301,9 @@ func project(cat *catalog.Catalog, cols []Operand, e env) (tuple.Tuple, error) {
 	return out, nil
 }
 
+// execSingle runs a single-relation selection as a streaming pipeline:
+// scan → filter → project, pulled row by row (iter.go). The scan is a
+// bounded B-tree range scan when the predicate bounds the key.
 func execSingle(cat *catalog.Catalog, q *Query, relName string) (*Result, error) {
 	rel, err := cat.Get(relName)
 	if err != nil {
@@ -318,50 +313,31 @@ func execSingle(cat *catalog.Catalog, q *Query, relName string) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Schema: schema}
-	keyed := len(rel.Schema.Fields) > 0 && rel.Schema.Fields[0].Kind == tuple.KInt
-	emit := func(t tuple.Tuple) (bool, error) {
-		e := env{relName: t}
-		if q.Where != nil {
-			ok, err := eval(cat, q.Where, e)
-			if err != nil {
-				return false, err
-			}
-			if !ok {
-				return true, nil
-			}
-		}
-		row, err := project(cat, cols, e)
-		if err != nil {
-			return false, err
-		}
-		res.Tuples = append(res.Tuples, row)
-		if keyed {
-			res.Sources = append(res.Sources, Source{RelID: rel.ID, Key: t[0].Int})
-		}
-		return true, nil
-	}
-	// Use a B-tree range scan when the predicate bounds the key.
-	if rel.Kind == catalog.KindBTree && q.Where != nil {
-		lo, hi := keyRange(rel, q.Where)
-		if lo > -1<<62 || hi < 1<<62 {
-			err := rel.Tree.Range(lo, hi, func(_ int64, payload []byte) (bool, error) {
-				t, err := tuple.Decode(rel.Schema, payload)
-				if err != nil {
-					return false, err
-				}
-				return emit(t)
-			})
-			if err != nil {
-				return nil, err
-			}
-			return res, nil
-		}
-	}
-	if err := scanRel(rel, emit); err != nil {
+	src, _, err := newRelScan(rel, q.Where)
+	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	defer src.Close()
+	var it rowIter = src
+	if q.Where != nil {
+		it = &filterIter{cat: cat, rel: relName, where: q.Where, src: it}
+	}
+	it = &projectIter{cat: cat, rel: relName, cols: cols, src: it}
+	res := &Result{Schema: schema}
+	keyed := len(rel.Schema.Fields) > 0 && rel.Schema.Fields[0].Kind == tuple.KInt
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		res.Tuples = append(res.Tuples, r.out)
+		if keyed {
+			res.Sources = append(res.Sources, Source{RelID: rel.ID, Key: r.base[0].Int})
+		}
+	}
 }
 
 func execJoin(cat *catalog.Catalog, q *Query, outerName, innerName string) (*Result, error) {

@@ -1,8 +1,18 @@
 package pql
 
 import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
+
+	"corep/internal/buffer"
+	"corep/internal/catalog"
+	"corep/internal/disk"
+	"corep/internal/object"
+	"corep/internal/tuple"
 )
 
 // FuzzPQLParse throws arbitrary source at the QUEL-subset parser. The
@@ -18,6 +28,10 @@ func FuzzPQLParse(f *testing.F) {
 	f.Add(`retrieve (e.salary, e.dept) where (e.age < 30 or e.age > 65) and not e.dept = "toy"`)
 	f.Add("retrieve(a.b)where a.c!=-12")
 	f.Add("retrieve (x.all) where x.hashkey# = 7")
+	f.Add("retrieve (team.name, team.members.score) where team.budget > 10")
+	f.Add("retrieve (league.teams.members.name)")
+	f.Add("retrieve (a.b.c.d.e.f.g.h.i.j)")
+	f.Add("retrieve (a.b.) where a.c = 1")
 	f.Add("retrieve (")
 	f.Add(`retrieve (a.b) where a.c = "unterminated`)
 	f.Add("where where where")
@@ -41,6 +55,144 @@ func FuzzPQLParse(f *testing.F) {
 		}
 		if got := q2.String(); got != printed {
 			t.Fatalf("canonical form is not a fixed point:\n 1st: %s\n 2nd: %s", printed, got)
+		}
+	})
+}
+
+// fuzzCatalog builds the shared execution fixture for FuzzPQLPlan once
+// per process: person/cyclist from the paper's example plus a team →
+// member complex-object layer covering all three children
+// representations (OID list, nested value, stored query).
+var fuzzCatalog struct {
+	once sync.Once
+	cat  *catalog.Catalog
+}
+
+func fuzzCat() *catalog.Catalog {
+	fuzzCatalog.once.Do(func() {
+		cat := catalog.New(buffer.New(disk.NewSim(), 128))
+		memberSchema := tuple.NewSchema(
+			tuple.Field{Name: "OID", Kind: tuple.KInt},
+			tuple.Field{Name: "name", Kind: tuple.KString, Width: 12},
+			tuple.Field{Name: "score", Kind: tuple.KInt},
+		)
+		member, err := cat.CreateBTree("member", memberSchema)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 9; i++ {
+			rec, err := tuple.Encode(nil, memberSchema, tuple.Tuple{
+				tuple.IntVal(int64(i + 1)), tuple.StrVal(fmt.Sprintf("m%d", i)), tuple.IntVal(int64(i * 3 % 7)),
+			})
+			if err != nil {
+				panic(err)
+			}
+			if err := member.Tree.Insert(int64(i+1), rec); err != nil {
+				panic(err)
+			}
+		}
+		teamSchema := tuple.NewSchema(
+			tuple.Field{Name: "OID", Kind: tuple.KInt},
+			tuple.Field{Name: "name", Kind: tuple.KString, Width: 12},
+			tuple.Field{Name: "members", Kind: tuple.KBytes, Width: 128},
+		)
+		team, err := cat.CreateBTree("team", teamSchema)
+		if err != nil {
+			panic(err)
+		}
+		for ti := 0; ti < 3; ti++ {
+			var kids []byte
+			switch ti {
+			case 0: // OID-based
+				var oids []object.OID
+				for i := 0; i < 3; i++ {
+					oids = append(oids, object.NewOID(member.ID, int64(ti*3+i+1)))
+				}
+				kids = append([]byte{object.TagOIDs}, object.EncodeOIDs(oids)...)
+			case 1: // stored query
+				kids = append([]byte{object.TagProc},
+					"retrieve (member.OID, member.name, member.score) where member.OID >= 4 and member.OID <= 6"...)
+			case 2: // nested value
+				var rows []tuple.Tuple
+				for i := 6; i < 9; i++ {
+					rows = append(rows, tuple.Tuple{
+						tuple.IntVal(int64(i + 1)), tuple.StrVal(fmt.Sprintf("m%d", i)), tuple.IntVal(int64(i * 3 % 7)),
+					})
+				}
+				body, err := object.EncodeNested(memberSchema, rows)
+				if err != nil {
+					panic(err)
+				}
+				kids = append([]byte{object.TagValue, 0, 0}, body...)
+				binary.LittleEndian.PutUint16(kids[1:3], member.ID)
+			}
+			rec, err := tuple.Encode(nil, teamSchema, tuple.Tuple{
+				tuple.IntVal(int64(ti + 1)), tuple.StrVal(fmt.Sprintf("t%d", ti)), tuple.BytesVal(kids),
+			})
+			if err != nil {
+				panic(err)
+			}
+			if err := team.Tree.Insert(int64(ti+1), rec); err != nil {
+				panic(err)
+			}
+		}
+		fuzzCatalog.cat = cat
+	})
+	return fuzzCatalog.cat
+}
+
+// fuzzPathPlanner deterministically alternates traversals so fuzzing
+// exercises both expansion operators (and their interleavings) without
+// depending on the upstream planner package.
+type fuzzPathPlanner struct{ n int }
+
+func (p *fuzzPathPlanner) ChooseTraversal(relID uint16, fanout int) (Traversal, float64) {
+	p.n++
+	return Traversal(p.n % 2), 0
+}
+
+func (p *fuzzPathPlanner) ObserveTraversal(uint16, Traversal, int, int64) {}
+
+// FuzzPQLPlan drives the full parse → plan → execute pipeline against a
+// live complex-object catalog, with a traversal planner installed. The
+// contract: nothing panics, Explain succeeds whenever execution does,
+// and the planned executor returns exactly the unplanned executor's
+// rows — the fuzz half of the plan-equivalence suite.
+func FuzzPQLPlan(f *testing.F) {
+	f.Add("retrieve (team.name, team.members.score) where team.OID <= 2")
+	f.Add("retrieve (team.members.name)")
+	f.Add("retrieve (team.members.score) where team.name = \"t0\"")
+	f.Add("retrieve (member.all) where member.score > 2 and member.OID < 8")
+	f.Add("retrieve (person.name) where person.name = cyclist.name")
+	f.Add("retrieve (team.members.OID) where team.OID = 1 or team.OID = 3")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		cat := fuzzCat()
+		want, wantErr := Execute(cat, q)
+		var io int64
+		got, gotErr := ExecuteWith(cat, q, ExecOpts{
+			Planner: &fuzzPathPlanner{},
+			IOStat:  func() int64 { io++; return io },
+		})
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("planned/unplanned disagree on error for %q: %v vs %v", src, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if _, err := Explain(cat, q, ExecOpts{Planner: &fuzzPathPlanner{}}); err != nil {
+			t.Fatalf("executable query %q does not explain: %v", src, err)
+		}
+		if len(got.Tuples) != len(want.Tuples) {
+			t.Fatalf("planned returned %d rows, unplanned %d for %q", len(got.Tuples), len(want.Tuples), src)
+		}
+		for i := range want.Tuples {
+			if !reflect.DeepEqual(got.Tuples[i], want.Tuples[i]) {
+				t.Fatalf("row %d diverges for %q: %v vs %v", i, src, got.Tuples[i], want.Tuples[i])
+			}
 		}
 	})
 }

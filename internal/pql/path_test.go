@@ -1,0 +1,340 @@
+package pql
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"corep/internal/buffer"
+	"corep/internal/catalog"
+	"corep/internal/disk"
+	"corep/internal/object"
+	"corep/internal/tuple"
+)
+
+// --- multi-dot parse tests ---
+
+func TestParsePath(t *testing.T) {
+	q, err := Parse(`retrieve (team.name, team.members.score) where team.budget > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Targets) != 2 {
+		t.Fatalf("targets = %+v", q.Targets)
+	}
+	pt := q.Targets[1]
+	if !pt.Pathy() || pt.Rel != "team" || pt.Attr != "members" || len(pt.Path) != 1 || pt.Path[0] != "score" {
+		t.Fatalf("path target = %+v", pt)
+	}
+	if got := pt.String(); got != "team.members.score" {
+		t.Fatalf("String() = %q", got)
+	}
+	// Deeper paths keep accumulating segments.
+	q2, err := Parse(`retrieve (league.teams.members.name)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := q2.Targets[0].Path; len(p) != 2 || p[0] != "members" || p[1] != "name" {
+		t.Fatalf("path = %v", p)
+	}
+	// Round trip through the canonical form.
+	if _, err := Parse(q.String()); err != nil {
+		t.Fatalf("round trip %q: %v", q.String(), err)
+	}
+}
+
+// --- execution fixtures ---
+
+// teamDB builds a two-level complex-object catalog: member(OID, name,
+// score) rows, and team(OID, name, members) where members is a children
+// attribute in one of the paper's representations (OID-based,
+// value-based/nested, or procedural).
+func teamDB(t *testing.T, rep byte) (*catalog.Catalog, *catalog.Relation, *catalog.Relation) {
+	t.Helper()
+	cat := catalog.New(buffer.New(disk.NewSim(), 64))
+	memberSchema := tuple.NewSchema(
+		tuple.Field{Name: "OID", Kind: tuple.KInt},
+		tuple.Field{Name: "name", Kind: tuple.KString, Width: 12},
+		tuple.Field{Name: "score", Kind: tuple.KInt},
+	)
+	member, err := cat.CreateBTree("member", memberSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type m struct {
+		name  string
+		score int64
+	}
+	members := []m{{"ann", 9}, {"bob", 4}, {"col", 7}, {"dee", 2}, {"eve", 5}, {"fay", 8}}
+	for i, mm := range members {
+		rec, err := tuple.Encode(nil, memberSchema, tuple.Tuple{
+			tuple.IntVal(int64(i + 1)), tuple.StrVal(mm.name), tuple.IntVal(mm.score),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := member.Tree.Insert(int64(i+1), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	teamSchema := tuple.NewSchema(
+		tuple.Field{Name: "OID", Kind: tuple.KInt},
+		tuple.Field{Name: "name", Kind: tuple.KString, Width: 12},
+		tuple.Field{Name: "members", Kind: tuple.KBytes, Width: 128},
+	)
+	team, err := cat.CreateBTree("team", teamSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Team 1 owns members 1-3, team 2 owns 4-6.
+	for ti := 0; ti < 2; ti++ {
+		var kids []byte
+		switch rep {
+		case object.TagOIDs:
+			oids := make([]object.OID, 3)
+			for i := range oids {
+				oids[i] = object.NewOID(member.ID, int64(ti*3+i+1))
+			}
+			kids = append([]byte{object.TagOIDs}, object.EncodeOIDs(oids)...)
+		case object.TagValue:
+			var rows []tuple.Tuple
+			for i := 0; i < 3; i++ {
+				mm := members[ti*3+i]
+				rows = append(rows, tuple.Tuple{
+					tuple.IntVal(int64(ti*3 + i + 1)), tuple.StrVal(mm.name), tuple.IntVal(mm.score),
+				})
+			}
+			body, err := object.EncodeNested(memberSchema, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kids = append([]byte{object.TagValue, 0, 0}, body...)
+			binary.LittleEndian.PutUint16(kids[1:3], member.ID)
+		case object.TagProc:
+			src := fmt.Sprintf("retrieve (member.OID, member.name, member.score) where member.OID >= %d and member.OID <= %d",
+				ti*3+1, ti*3+3)
+			kids = append([]byte{object.TagProc}, src...)
+		default:
+			t.Fatalf("unknown rep %q", rep)
+		}
+		rec, err := tuple.Encode(nil, teamSchema, tuple.Tuple{
+			tuple.IntVal(int64(ti + 1)), tuple.StrVal(fmt.Sprintf("team%d", ti+1)), tuple.BytesVal(kids),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := team.Tree.Insert(int64(ti+1), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat, team, member
+}
+
+func pathInts(res *Result, col int) []int64 {
+	var out []int64
+	for _, t := range res.Tuples {
+		out = append(out, t[col].Int)
+	}
+	return out
+}
+
+// TestExecPathEveryRepresentation: the same multi-dot query must return
+// the same rows whichever representation the children attribute uses —
+// OID list, nested value, or stored query (the paper's three primaries).
+func TestExecPathEveryRepresentation(t *testing.T) {
+	for _, rep := range []byte{object.TagOIDs, object.TagValue, object.TagProc} {
+		rep := rep
+		t.Run(string(rep), func(t *testing.T) {
+			cat, team, member := teamDB(t, rep)
+			_, _ = team, member
+			res, err := Execute(cat, mustParse(t, `retrieve (team.name, team.members.score) where team.OID <= 2`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := pathInts(res, 1); !reflect.DeepEqual(got, []int64{9, 4, 7, 2, 5, 8}) {
+				t.Fatalf("scores = %v", got)
+			}
+			// Plain targets repeat once per expanded subobject, join-style.
+			var names []string
+			for _, tp := range res.Tuples {
+				names = append(names, tp[0].Str)
+			}
+			if !reflect.DeepEqual(names, []string{"team1", "team1", "team1", "team2", "team2", "team2"}) {
+				t.Fatalf("names = %v", names)
+			}
+			// The path column's schema entry carries the leaf's field spec.
+			if f := res.Schema.Fields[1]; f.Name != "team.members.score" || f.Kind != tuple.KInt {
+				t.Fatalf("path field = %+v", f)
+			}
+			// Sources name the root rows that produced each output row.
+			if len(res.Sources) != 6 || res.Sources[0].Key != 1 || res.Sources[5].Key != 2 {
+				t.Fatalf("sources = %+v", res.Sources)
+			}
+		})
+	}
+}
+
+// stubPlanner forces one traversal everywhere and records calls — the
+// in-package stand-in for planner.PathModel (which lives upstream of
+// pql and is exercised through the facade).
+type stubPlanner struct {
+	tr       Traversal
+	chosen   int
+	observed int
+	pages    int64
+}
+
+func (s *stubPlanner) ChooseTraversal(relID uint16, fanout int) (Traversal, float64) {
+	s.chosen++
+	return s.tr, 0
+}
+
+func (s *stubPlanner) ObserveTraversal(relID uint16, tr Traversal, fanout int, pages int64) {
+	s.observed++
+	s.pages += pages
+}
+
+// TestExecPathPlannedMatchesUnplanned is the executor half of the
+// plan-equivalence property: for every traversal operator the planner
+// could pick, the planned pipeline returns bit-identical rows — same
+// values, same order — as the unplanned one.
+func TestExecPathPlannedMatchesUnplanned(t *testing.T) {
+	cat, _, _ := teamDB(t, object.TagOIDs)
+	queries := []string{
+		`retrieve (team.members.score)`,
+		`retrieve (team.name, team.members.name) where team.OID = 2`,
+		`retrieve (team.members.OID) where team.OID >= 1 and team.OID <= 2`,
+	}
+	for _, src := range queries {
+		q := mustParse(t, src)
+		want, err := Execute(cat, q)
+		if err != nil {
+			t.Fatalf("%s: unplanned: %v", src, err)
+		}
+		for _, tr := range []Traversal{TraversalProbe, TraversalBatch} {
+			sp := &stubPlanner{tr: tr}
+			var fakeIO int64
+			got, err := ExecuteWith(cat, q, ExecOpts{Planner: sp, IOStat: func() int64 { fakeIO++; return fakeIO }})
+			if err != nil {
+				t.Fatalf("%s: planned(%s): %v", src, tr, err)
+			}
+			if !reflect.DeepEqual(got.Tuples, want.Tuples) {
+				t.Fatalf("%s: planned(%s) rows diverge:\n got %v\nwant %v", src, tr, got.Tuples, want.Tuples)
+			}
+			if !reflect.DeepEqual(got.Sources, want.Sources) {
+				t.Fatalf("%s: planned(%s) sources diverge", src, tr)
+			}
+			if sp.chosen == 0 || sp.observed != sp.chosen {
+				t.Fatalf("%s: planner saw %d choices, %d observations", src, sp.chosen, sp.observed)
+			}
+		}
+	}
+}
+
+// TestExecPathCycleGuard: a stored query that reaches back into its own
+// relation must hit the depth bound, not loop.
+func TestExecPathCycleGuard(t *testing.T) {
+	cat := catalog.New(buffer.New(disk.NewSim(), 64))
+	schema := tuple.NewSchema(
+		tuple.Field{Name: "OID", Kind: tuple.KInt},
+		tuple.Field{Name: "next", Kind: tuple.KBytes, Width: 64},
+	)
+	loop, err := cat.CreateBTree("loop", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := append([]byte{object.TagProc}, `retrieve (loop.next.next) where loop.OID = 1`...)
+	rec, err := tuple.Encode(nil, schema, tuple.Tuple{tuple.IntVal(1), tuple.BytesVal(kids)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loop.Tree.Insert(1, rec); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Execute(cat, mustParse(t, `retrieve (loop.next.next) where loop.OID = 1`))
+	if err == nil || !strings.Contains(err.Error(), "deeper than") {
+		t.Fatalf("cycle not caught: %v", err)
+	}
+	if !errors.Is(err, ErrExec) {
+		t.Fatalf("not an exec error: %v", err)
+	}
+}
+
+func TestExecPathErrors(t *testing.T) {
+	cat, _, _ := teamDB(t, object.TagOIDs)
+	for _, tc := range []struct{ src, want string }{
+		{`retrieve (team.members.score, team.members.name)`, "at most one"},
+		{`retrieve (team.all, team.members.score)`, "cannot accompany"},
+		{`retrieve (team.name.score)`, "not a children attribute"},
+		{`retrieve (team.nope.score)`, "no attribute"},
+		{`retrieve (team.members.score) where member.score > 1`, "must bind only"},
+	} {
+		_, err := Execute(cat, mustParse(t, tc.src))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+	// An unknown representation tag is a clean error.
+	schema := tuple.NewSchema(
+		tuple.Field{Name: "OID", Kind: tuple.KInt},
+		tuple.Field{Name: "kids", Kind: tuple.KBytes, Width: 16},
+	)
+	bad, err := catalog.New(buffer.New(disk.NewSim(), 64)).CreateBTree("bad", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = bad
+}
+
+// TestExplainPath: the plan surface names the traversal per step.
+func TestExplainPath(t *testing.T) {
+	cat, _, _ := teamDB(t, object.TagOIDs)
+	plan, err := Explain(cat, mustParse(t, `retrieve (team.name, team.members.score) where team.OID <= 2`), ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) == 0 {
+		t.Fatal("empty plan")
+	}
+	s := plan.String()
+	for _, want := range []string{"team", "expand", "members"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("plan %q missing %q", s, want)
+		}
+	}
+	// With a planner installed the chosen traversal is quoted.
+	sp := &stubPlanner{tr: TraversalBatch}
+	plan2, err := Explain(cat, mustParse(t, `retrieve (team.members.score)`), ExecOpts{Planner: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan2.String(), "batch") {
+		t.Fatalf("plan %q does not name the batch traversal", plan2.String())
+	}
+}
+
+// TestExecSingleStreaming pins the refactored single-relation pipeline
+// to the legacy semantics on the existing fixture.
+func TestExecSingleStreaming(t *testing.T) {
+	cat := personDB(t)
+	res, err := ExecuteWith(cat, mustParse(t, `retrieve (person.name) where person.age >= 60`), ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(res, 0); !reflect.DeepEqual(got, []string{"John", "Mary", "Paul"}) {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}

@@ -49,6 +49,12 @@ const (
 	DFSCACHEINSIDE
 )
 
+// Planned identifies the cost-based planner's adaptive dispatcher
+// (internal/planner), which picks one of the static kinds per query. It
+// is not itself a static strategy: it never appears in AllKinds and
+// strategy.New rejects it — construct it with planner.NewPlanned.
+const Planned Kind = 255
+
 // AllKinds lists every strategy.
 var AllKinds = []Kind{DFS, BFS, BFSNODUP, DFSCACHE, DFSCLUST, SMART}
 
@@ -72,6 +78,8 @@ func (k Kind) String() string {
 		return "SMART"
 	case DFSCACHEINSIDE:
 		return "DFSCACHE-INSIDE"
+	case Planned:
+		return "PLANNED"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
